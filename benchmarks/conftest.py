@@ -1,0 +1,41 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark reproduces one of the paper's evaluation artefacts (see
+DESIGN.md, per-experiment index).  The scale of the synthetic workload is
+controlled by two environment variables so the harness can be run quickly in
+CI or at a larger scale for a closer look:
+
+* ``REPRO_BENCH_BLOCKS`` — superblocks generated per benchmark (default 2);
+* ``REPRO_BENCH_BUDGET`` — the large ("4-minute-equivalent") work budget for
+  the proposed scheduler (default 60000 deduction rule firings).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis import EffortThresholds
+
+
+def bench_blocks() -> int:
+    return int(os.environ.get("REPRO_BENCH_BLOCKS", "2"))
+
+
+def bench_budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_BUDGET", "60000"))
+
+
+def bench_thresholds() -> EffortThresholds:
+    """Work thresholds standing in for the paper's 1 s / 1 min / 4 min."""
+    large = bench_budget()
+    return EffortThresholds(small=max(large // 30, 500), medium=max(large // 4, 2000), large=large)
+
+
+@pytest.fixture(scope="session")
+def thresholds() -> EffortThresholds:
+    return bench_thresholds()

@@ -1,0 +1,33 @@
+"""Section 5 worked example as a micro-benchmark.
+
+Schedules the paper's Figure 1 superblock on the reduced 2-cluster machine
+with both schedulers.  Useful both as a timing micro-benchmark of one full
+scheduling pass and as a continuous check that the headline numbers of the
+worked example (AWCT 9.4 for the proposed technique vs 9.8 for list
+scheduling) hold.
+"""
+
+import pytest
+
+from repro.machine import example_2cluster
+from repro.scheduler import CarsScheduler, VirtualClusterScheduler
+from repro.workloads import paper_figure1_block
+
+
+def test_bench_vcs_on_paper_example(benchmark):
+    block = paper_figure1_block()
+    machine = example_2cluster()
+    scheduler = VirtualClusterScheduler()
+
+    result = benchmark(lambda: scheduler.schedule(block, machine))
+    assert result.awct == pytest.approx(9.4)
+    assert result.awct_target_steps == 2
+
+
+def test_bench_cars_on_paper_example(benchmark):
+    block = paper_figure1_block()
+    machine = example_2cluster()
+    scheduler = CarsScheduler()
+
+    result = benchmark(lambda: scheduler.schedule(block, machine))
+    assert result.awct == pytest.approx(9.8)

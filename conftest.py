@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The project is normally installed with ``pip install -e .``; this hook keeps
+``pytest`` (and the benchmark harness) working in environments where an
+editable install is not possible (e.g. offline machines without the
+``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

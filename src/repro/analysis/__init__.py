@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, compile-effort statistics and reporting.
+
+This package turns per-block :class:`~repro.scheduler.schedule.ScheduleResult`
+objects into the aggregates the paper reports: total dynamic cycles and
+speed-ups per benchmark/configuration (Figure 11), the distribution of
+compile effort across blocks and thresholds (Figure 10), and the cross-input
+profiling comparison (Figure 12).
+"""
+
+from repro.analysis.metrics import (
+    BlockComparison,
+    BenchmarkComparison,
+    compare_block,
+    evaluate_benchmark,
+    speedup,
+    geometric_mean,
+    evaluated_awct,
+)
+from repro.analysis.compile_time import (
+    EffortThresholds,
+    CompileEffortStats,
+    collect_effort,
+    fraction_within,
+)
+from repro.analysis.report import (
+    format_table,
+    format_speedup_series,
+    format_compile_time_table,
+)
+
+__all__ = [
+    "BlockComparison",
+    "BenchmarkComparison",
+    "compare_block",
+    "evaluate_benchmark",
+    "speedup",
+    "geometric_mean",
+    "evaluated_awct",
+    "EffortThresholds",
+    "CompileEffortStats",
+    "collect_effort",
+    "fraction_within",
+    "format_table",
+    "format_speedup_series",
+    "format_compile_time_table",
+]

@@ -1,0 +1,89 @@
+"""Compile-effort statistics (the Figure 10 experiment).
+
+The paper reports the fraction of superblocks each scheduler compiles within
+1 second, 1 minute and 4 minutes on its reference host.  Wall-clock seconds
+are not reproducible across machines, so the primary measure here is the
+deterministic *work* counter of each scheduler result (deduction rule
+firings for the proposed technique, placement attempts for CARS); three
+work thresholds stand in for the paper's three wall-clock thresholds.
+Wall-clock times are still recorded for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.scheduler.schedule import ScheduleResult
+
+
+@dataclass(frozen=True)
+class EffortThresholds:
+    """Work-unit thresholds standing in for the paper's 1 s / 1 min / 4 min."""
+
+    small: int = 2_000
+    medium: int = 30_000
+    large: int = 120_000
+
+    @property
+    def labels(self) -> Tuple[str, str, str]:
+        return ("1s-equiv", "1m-equiv", "4m-equiv")
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.small, self.medium, self.large)
+
+
+@dataclass
+class CompileEffortStats:
+    """Distribution of compile effort over one scheduler's results."""
+
+    scheduler: str
+    machine: str
+    work_per_block: List[int] = field(default_factory=list)
+    wall_time_per_block: List[float] = field(default_factory=list)
+    timed_out_blocks: int = 0
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.work_per_block)
+
+    def fraction_within(self, work_limit: int) -> float:
+        """Fraction of blocks whose compile effort stayed within the limit."""
+        if not self.work_per_block:
+            return 1.0
+        return sum(1 for w in self.work_per_block if w <= work_limit) / self.n_blocks
+
+    def fractions(self, thresholds: EffortThresholds) -> Dict[str, float]:
+        return {
+            label: self.fraction_within(limit)
+            for label, limit in zip(thresholds.labels, thresholds.as_tuple())
+        }
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.work_per_block)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(self.wall_time_per_block)
+
+
+def collect_effort(
+    scheduler: str,
+    machine: str,
+    results: Iterable[ScheduleResult],
+) -> CompileEffortStats:
+    """Build effort statistics from per-block scheduler results."""
+    stats = CompileEffortStats(scheduler=scheduler, machine=machine)
+    for result in results:
+        stats.work_per_block.append(result.work)
+        stats.wall_time_per_block.append(result.wall_time)
+        if result.timed_out:
+            stats.timed_out_blocks += 1
+    return stats
+
+
+def fraction_within(results: Sequence[ScheduleResult], work_limit: int) -> float:
+    """Convenience wrapper over :meth:`CompileEffortStats.fraction_within`."""
+    stats = collect_effort("", "", results)
+    return stats.fraction_within(work_limit)

@@ -1,0 +1,158 @@
+"""End-to-end experiment runners used by the benchmark harness and examples.
+
+Each function reproduces the workflow of one of the paper's evaluation
+figures: schedule every block of a workload with CARS and with the proposed
+technique (at a given compile-effort threshold), aggregate the results and
+return both the raw records and the formatted report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.compile_time import CompileEffortStats, EffortThresholds, collect_effort
+from repro.analysis.metrics import (
+    BenchmarkComparison,
+    BlockComparison,
+    compare_block,
+    evaluate_benchmark,
+)
+from repro.analysis.report import format_compile_time_table, format_speedup_series
+from repro.machine.machine import ClusteredMachine
+from repro.scheduler.cars import CarsScheduler
+from repro.scheduler.correctness import validate_schedule
+from repro.scheduler.schedule import ScheduleResult
+from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+from repro.workloads.suite import BenchmarkWorkload, train_variant
+
+
+@dataclass
+class ExperimentRecord:
+    """Raw results of scheduling one workload on one machine."""
+
+    workload: BenchmarkWorkload
+    machine: ClusteredMachine
+    baseline_results: List[ScheduleResult] = field(default_factory=list)
+    proposed_results: List[ScheduleResult] = field(default_factory=list)
+
+    def comparison(self, evaluation_blocks: Optional[Sequence] = None) -> BenchmarkComparison:
+        blocks = []
+        for index, (base, prop) in enumerate(zip(self.baseline_results, self.proposed_results)):
+            eval_block = evaluation_blocks[index] if evaluation_blocks is not None else None
+            blocks.append(compare_block(base, prop, evaluation_block=eval_block))
+        return evaluate_benchmark(
+            self.workload.name, self.workload.suite, self.machine.name, blocks
+        )
+
+    def effort(self) -> Tuple[CompileEffortStats, CompileEffortStats]:
+        return (
+            collect_effort("CARS", self.machine.name, self.baseline_results),
+            collect_effort("VCS", self.machine.name, self.proposed_results),
+        )
+
+
+def run_workload(
+    workload: BenchmarkWorkload,
+    machine: ClusteredMachine,
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+    scheduling_blocks: Optional[Sequence] = None,
+) -> ExperimentRecord:
+    """Schedule every block of *workload* with CARS and with the proposed
+    technique.
+
+    ``scheduling_blocks`` optionally provides different blocks (same DGs,
+    different profiles) to *schedule*, while the workload's own blocks are
+    what the caller will later *evaluate* against — the Figure 12 setup.
+    """
+    cars = CarsScheduler()
+    config = vcs_config or VcsConfig()
+    if work_budget is not None:
+        config = VcsConfig(**{**config.__dict__, "work_budget": work_budget})
+    vcs = VirtualClusterScheduler(config)
+
+    record = ExperimentRecord(workload=workload, machine=machine)
+    source_blocks = scheduling_blocks if scheduling_blocks is not None else workload.blocks
+    for block in source_blocks:
+        baseline = cars.schedule(block, machine)
+        proposed = vcs.schedule(block, machine)
+        if check_schedules:
+            validate_schedule(baseline.schedule).raise_if_invalid()
+            validate_schedule(proposed.schedule).raise_if_invalid()
+        record.baseline_results.append(baseline)
+        record.proposed_results.append(proposed)
+    return record
+
+
+def run_speedup_experiment(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+) -> Dict[str, List[BenchmarkComparison]]:
+    """Figure 11: per-benchmark speed-up of the proposed technique over CARS
+    for every machine configuration.  Returns comparisons grouped by machine
+    name."""
+    grouped: Dict[str, List[BenchmarkComparison]] = {}
+    for machine in machines:
+        rows: List[BenchmarkComparison] = []
+        for workload in workloads:
+            record = run_workload(workload, machine, work_budget=work_budget, vcs_config=vcs_config)
+            rows.append(record.comparison())
+        grouped[machine.name] = rows
+    return grouped
+
+
+def run_compile_time_experiment(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    thresholds: EffortThresholds,
+) -> List[CompileEffortStats]:
+    """Figure 10: compile-effort distribution of CARS and the proposed
+    technique on every machine (the proposed technique runs without a budget
+    so the full effort per block is observed)."""
+    stats: List[CompileEffortStats] = []
+    for machine in machines:
+        cars_results: List[ScheduleResult] = []
+        vcs_results: List[ScheduleResult] = []
+        for workload in workloads:
+            record = run_workload(
+                workload,
+                machine,
+                work_budget=thresholds.large,
+            )
+            cars_results.extend(record.baseline_results)
+            vcs_results.extend(record.proposed_results)
+        stats.append(collect_effort("CARS", machine.name, cars_results))
+        stats.append(collect_effort("VCS", machine.name, vcs_results))
+    return stats
+
+
+def run_cross_input_experiment(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    work_budget: Optional[int] = None,
+    noise: float = 0.35,
+) -> Dict[str, List[BenchmarkComparison]]:
+    """Figure 12: schedule with the ``train`` profile, evaluate with ``ref``.
+
+    For each workload a train variant is derived; both CARS and the proposed
+    technique schedule the train blocks, and the resulting schedules are
+    evaluated with the original (ref) exit probabilities and execution
+    counts."""
+    grouped: Dict[str, List[BenchmarkComparison]] = {}
+    for machine in machines:
+        rows: List[BenchmarkComparison] = []
+        for workload in workloads:
+            train = train_variant(workload, noise=noise)
+            record = run_workload(
+                workload,
+                machine,
+                work_budget=work_budget,
+                scheduling_blocks=train.blocks,
+            )
+            rows.append(record.comparison(evaluation_blocks=workload.blocks))
+        grouped[machine.name] = rows
+    return grouped

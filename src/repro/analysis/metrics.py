@@ -1,0 +1,141 @@
+"""Performance metrics: total cycles and speed-ups.
+
+The paper's performance metric is the total number of dynamic cycles,
+``sum over blocks of AWCT(S) * T(S)`` (Section 2.2 / Section 6.2), with exit
+frequencies taken from profiling.  Speed-up of the proposed technique over
+CARS is the ratio of the two totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.bounds.awct import awct
+from repro.ir.superblock import Superblock
+from repro.scheduler.schedule import Schedule, ScheduleResult
+
+
+def evaluated_awct(schedule: Schedule, evaluation_block: Optional[Superblock] = None) -> float:
+    """AWCT of *schedule*, optionally re-weighted with another profile.
+
+    The cross-input experiment schedules with the ``train`` profile but
+    evaluates with the ``ref`` profile: the exit *cycles* come from the
+    schedule, the exit *probabilities* from *evaluation_block*.
+    """
+    block = evaluation_block if evaluation_block is not None else schedule.block
+    exit_cycles = {e.op_id: schedule.cycles[e.op_id] for e in block.exits}
+    return awct(block, exit_cycles)
+
+
+@dataclass
+class BlockComparison:
+    """Baseline-vs-proposed comparison on one superblock."""
+
+    block_name: str
+    execution_count: int
+    baseline_awct: float
+    proposed_awct: float
+    baseline_work: int
+    proposed_work: int
+    proposed_timed_out: bool = False
+    proposed_fallback: bool = False
+
+    @property
+    def baseline_cycles(self) -> float:
+        return self.baseline_awct * self.execution_count
+
+    @property
+    def proposed_cycles(self) -> float:
+        return self.proposed_awct * self.execution_count
+
+    @property
+    def speedup(self) -> float:
+        if self.proposed_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.proposed_cycles
+
+
+@dataclass
+class BenchmarkComparison:
+    """Aggregated comparison over one benchmark's blocks."""
+
+    name: str
+    suite: str
+    machine: str
+    blocks: List[BlockComparison] = field(default_factory=list)
+
+    @property
+    def baseline_cycles(self) -> float:
+        return sum(b.baseline_cycles for b in self.blocks)
+
+    @property
+    def proposed_cycles(self) -> float:
+        return sum(b.proposed_cycles for b in self.blocks)
+
+    @property
+    def speedup(self) -> float:
+        if self.proposed_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.proposed_cycles
+
+    @property
+    def fallback_fraction(self) -> float:
+        if not self.blocks:
+            return 0.0
+        return sum(1 for b in self.blocks if b.proposed_fallback) / len(self.blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def speedup(baseline_cycles: float, proposed_cycles: float) -> float:
+    """Speed-up of the proposed technique (>1 means proposed is faster)."""
+    if proposed_cycles <= 0:
+        raise ValueError("proposed cycle count must be positive")
+    return baseline_cycles / proposed_cycles
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional way to average speed-ups."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare_block(
+    baseline: ScheduleResult,
+    proposed: ScheduleResult,
+    evaluation_block: Optional[Superblock] = None,
+) -> BlockComparison:
+    """Build the per-block comparison record from two scheduler results."""
+    if baseline.block.name != proposed.block.name:
+        raise ValueError("comparing results of different blocks")
+    eval_block = evaluation_block if evaluation_block is not None else baseline.block
+    return BlockComparison(
+        block_name=baseline.block.name,
+        execution_count=eval_block.execution_count,
+        baseline_awct=evaluated_awct(baseline.schedule, eval_block),
+        proposed_awct=evaluated_awct(proposed.schedule, eval_block),
+        baseline_work=baseline.work,
+        proposed_work=proposed.work,
+        proposed_timed_out=proposed.timed_out,
+        proposed_fallback=proposed.fallback_used,
+    )
+
+
+def evaluate_benchmark(
+    name: str,
+    suite: str,
+    machine_name: str,
+    comparisons: Iterable[BlockComparison],
+) -> BenchmarkComparison:
+    """Aggregate per-block comparisons into one benchmark row."""
+    result = BenchmarkComparison(name=name, suite=suite, machine=machine_name)
+    result.blocks = list(comparisons)
+    return result

@@ -1,0 +1,79 @@
+"""Plain-text reports mirroring the paper's figures.
+
+The benchmark harness prints these tables; EXPERIMENTS.md captures the
+paper-vs-measured comparison built from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis.compile_time import CompileEffortStats, EffortThresholds
+from repro.analysis.metrics import BenchmarkComparison, geometric_mean
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_series(
+    comparisons: Sequence[BenchmarkComparison],
+    label: str = "speed-up",
+) -> str:
+    """The Figure 11 style series: per-benchmark speed-ups plus suite means.
+
+    Benchmarks are listed in their given order; the SpecInt mean, MediaBench
+    mean and overall mean rows mirror the paper's "Spec Mean" / "Media Mean"
+    / "Mean" bars.
+    """
+    rows: List[List[object]] = []
+    spec = [c.speedup for c in comparisons if c.suite == "specint"]
+    media = [c.speedup for c in comparisons if c.suite == "mediabench"]
+    for comparison in comparisons:
+        rows.append(
+            [
+                comparison.name,
+                comparison.machine,
+                f"{comparison.speedup:.4f}",
+                comparison.n_blocks,
+                f"{comparison.fallback_fraction:.2f}",
+            ]
+        )
+    if spec:
+        rows.append(["Spec Mean", "-", f"{geometric_mean(spec):.4f}", "-", "-"])
+    if media:
+        rows.append(["Media Mean", "-", f"{geometric_mean(media):.4f}", "-", "-"])
+    if spec or media:
+        rows.append(["Mean", "-", f"{geometric_mean(spec + media):.4f}", "-", "-"])
+    return format_table(
+        ["benchmark", "machine", label, "blocks", "fallback frac"], rows
+    )
+
+
+def format_compile_time_table(
+    stats: Sequence[CompileEffortStats],
+    thresholds: EffortThresholds,
+) -> str:
+    """The Figure 10 style table: % of blocks compiled within each threshold."""
+    rows = []
+    for stat in stats:
+        fractions = stat.fractions(thresholds)
+        rows.append(
+            [
+                stat.scheduler,
+                stat.machine,
+                stat.n_blocks,
+            ]
+            + [f"{100 * fractions[label]:.1f}%" for label in thresholds.labels]
+        )
+    headers = ["scheduler", "machine", "blocks"] + list(thresholds.labels)
+    return format_table(headers, rows)

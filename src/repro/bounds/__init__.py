@@ -1,0 +1,39 @@
+"""Scheduling bounds and the AWCT metric.
+
+This subpackage computes the earliest/latest issue cycles (estart/lstart) of
+every operation, the average weighted completion time (AWCT) of a superblock
+schedule, the dependence- and resource-based lower bound minAWCT, and the
+enumeration of target exit bounds in non-decreasing AWCT order that drives
+the proposed scheduler's outer loop (Section 4.2 of the paper).
+"""
+
+from repro.bounds.estart import (
+    compute_estart,
+    compute_lstart,
+    compute_bounds,
+    slack,
+    Bounds,
+)
+from repro.bounds.awct import (
+    awct,
+    awct_from_schedule_cycles,
+    min_exit_cycles,
+    min_awct,
+    total_cycles,
+)
+from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
+
+__all__ = [
+    "compute_estart",
+    "compute_lstart",
+    "compute_bounds",
+    "slack",
+    "Bounds",
+    "awct",
+    "awct_from_schedule_cycles",
+    "min_exit_cycles",
+    "min_awct",
+    "total_cycles",
+    "ExitBoundEnumerator",
+    "ExitBoundStep",
+]

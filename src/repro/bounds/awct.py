@@ -1,0 +1,87 @@
+"""The AWCT metric (Section 2.2 of the paper) and its lower bound.
+
+AWCT (average weighted completion time) of a superblock schedule is
+
+    AWCT = sum over exits u of (Cyc_u + lambda_u) * P_u
+
+where ``Cyc_u`` is the cycle the exit is issued in, ``lambda_u`` its latency
+and ``P_u`` the profiled probability of leaving the superblock through it.
+The contribution of a block to the total execution time of an application is
+``TC(S) = AWCT(S) * T(S)`` with ``T(S)`` the block's execution count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.bounds.estart import compute_estart
+from repro.ir.operation import OpClass
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+
+
+def awct(block: Superblock, exit_cycles: Mapping[int, int]) -> float:
+    """AWCT of *block* when its exits issue in the given cycles."""
+    total = 0.0
+    for exit_info in block.exits:
+        if exit_info.op_id not in exit_cycles:
+            raise KeyError(f"exit {exit_info.op_id} has no cycle assignment")
+        op = block.op(exit_info.op_id)
+        total += (exit_cycles[exit_info.op_id] + op.latency) * exit_info.probability
+    return total
+
+
+def awct_from_schedule_cycles(block: Superblock, cycles: Mapping[int, int]) -> float:
+    """AWCT extracted from a full cycle assignment (exits are looked up)."""
+    return awct(block, {e.op_id: cycles[e.op_id] for e in block.exits})
+
+
+def min_exit_cycles(
+    block: Superblock,
+    machine: Optional[ClusteredMachine] = None,
+) -> Dict[int, int]:
+    """Per-exit lower bound on the issue cycle.
+
+    The dependence part is the estart of each exit.  When *machine* is given
+    the bound additionally accounts for machine-wide resource capacity: all
+    operations that must issue no later than an exit (its dependence
+    ancestors plus the exit itself) need at least ``ceil(n / capacity)``
+    cycles, so the exit cannot issue before that many cycles have passed.
+    This mirrors the paper's "critical path and resource constraints"
+    definition of minAWCT; it ignores inter-cluster communication penalties
+    by design (the whole point of the outer AWCT loop is to discover when
+    they make a bound unreachable).
+    """
+    estart = compute_estart(block.graph)
+    result: Dict[int, int] = {}
+    for exit_info in block.exits:
+        bound = estart[exit_info.op_id]
+        if machine is not None:
+            ancestors = [
+                op
+                for op in block.operations
+                if op.op_id == exit_info.op_id
+                or block.graph.must_precede(op.op_id, exit_info.op_id)
+            ]
+            resource_cycles = machine.resource_length_lower_bound(ancestors)
+            # The exit issues in the last of those cycles at the earliest
+            # (cycles are numbered from 0).
+            bound = max(bound, resource_cycles - 1)
+        result[exit_info.op_id] = bound
+    return result
+
+
+def min_awct(block: Superblock, machine: Optional[ClusteredMachine] = None) -> float:
+    """Lower bound on the AWCT of any schedule of *block* (minAWCT)."""
+    return awct(block, min_exit_cycles(block, machine))
+
+
+def total_cycles(
+    blocks_and_awct: Iterable[tuple],
+) -> float:
+    """Total cycle contribution of a set of blocks.
+
+    *blocks_and_awct* yields ``(superblock, awct_value)`` pairs; the result
+    is ``sum(awct_value * block.execution_count)``.
+    """
+    return sum(value * block.execution_count for block, value in blocks_and_awct)

@@ -1,0 +1,163 @@
+"""Enumeration of target exit bounds in non-decreasing AWCT order.
+
+The proposed algorithm (Section 4.2) iterates over target AWCT values.  A
+target is represented concretely by a vector of per-exit deadline cycles.
+Starting from the minimum exit cycles, targets are enumerated best-first:
+each step yields the unvisited deadline vector with the smallest AWCT, and
+its successors (one per exit, obtained by relaxing that exit's deadline by a
+cycle and propagating the dependence-imposed distances between exits) are
+added to the frontier.  Because relaxing a deadline can only increase the
+AWCT, the sequence of yielded targets has non-decreasing AWCT, which is the
+paper's "progressively increase the AWCT" loop; the increment between two
+consecutive targets is (a multiple of) an exit probability, exactly as the
+paper describes.
+
+Exits with very small probabilities are given a tiny ordering weight so that
+relaxing them is still registered as progress; otherwise a zero-probability
+exit could be relaxed forever without the binding exits ever moving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.bounds.awct import awct, min_exit_cycles
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+
+#: Minimum per-exit weight used for ordering the frontier.
+_EPSILON_PROBABILITY = 1e-3
+
+
+@dataclass(frozen=True)
+class ExitBoundStep:
+    """One target produced by the enumerator."""
+
+    exit_cycles: Dict[int, int]
+    awct: float
+    step: int
+
+
+class ExitBoundEnumerator:
+    """Yield successive exit-deadline vectors with non-decreasing AWCT.
+
+    Parameters
+    ----------
+    block:
+        Superblock being scheduled.
+    machine:
+        Machine description used for the resource part of the initial bound.
+    initial_cycles:
+        Optional replacement for the computed minimum exit cycles (the VCS
+        driver passes deduction-tightened bounds here, mirroring the paper's
+        enhanced minAWCT computation).
+    max_steps:
+        Safety limit on the number of targets produced.
+    """
+
+    def __init__(
+        self,
+        block: Superblock,
+        machine: Optional[ClusteredMachine] = None,
+        initial_cycles: Optional[Mapping[int, int]] = None,
+        max_steps: int = 10_000,
+    ) -> None:
+        self._block = block
+        self._machine = machine
+        self._max_steps = max_steps
+        self._exit_ids = block.exit_ids
+        self._weights = {
+            e: max(block.exit_probability(e), _EPSILON_PROBABILITY)
+            for e in self._exit_ids
+        }
+        self._distances = self._exit_distances()
+
+        base = dict(initial_cycles) if initial_cycles is not None else min_exit_cycles(block, machine)
+        start = self._propagate(base)
+        self._frontier: List[Tuple[float, Tuple[int, ...]]] = []
+        self._visited: Set[Tuple[int, ...]] = set()
+        self._step = 0
+        self._push(start)
+
+    # ------------------------------------------------------------------ #
+    # internal helpers
+    # ------------------------------------------------------------------ #
+    def _exit_distances(self) -> Dict[Tuple[int, int], int]:
+        """Dependence-imposed minimum issue distance between exit pairs."""
+        distances: Dict[Tuple[int, int], int] = {}
+        for u in self._exit_ids:
+            for v in self._exit_ids:
+                if u == v:
+                    continue
+                d = self._block.graph.min_distance(u, v)
+                if d is not None:
+                    distances[(u, v)] = d
+        return distances
+
+    def _propagate(self, cycles: Mapping[int, int]) -> Dict[int, int]:
+        """Push exit cycles up so that all inter-exit distances hold."""
+        result = dict(cycles)
+        changed = True
+        while changed:
+            changed = False
+            for (u, v), distance in self._distances.items():
+                if result[v] < result[u] + distance:
+                    result[v] = result[u] + distance
+                    changed = True
+        return result
+
+    def _key(self, cycles: Dict[int, int]) -> Tuple[int, ...]:
+        return tuple(cycles[e] for e in self._exit_ids)
+
+    def _ordering_weight(self, cycles: Dict[int, int]) -> float:
+        """Frontier priority: AWCT with tiny weights for ~zero-probability exits."""
+        return sum((cycles[e] + self._block.op(e).latency) * self._weights[e] for e in self._exit_ids)
+
+    def _push(self, cycles: Dict[int, int]) -> None:
+        key = self._key(cycles)
+        if key in self._visited:
+            return
+        heapq.heappush(self._frontier, (self._ordering_weight(cycles), key))
+
+    # ------------------------------------------------------------------ #
+    # iteration protocol
+    # ------------------------------------------------------------------ #
+    def advance(self) -> ExitBoundStep:
+        """Return the next unvisited target with the smallest AWCT."""
+        while self._frontier:
+            _, key = heapq.heappop(self._frontier)
+            if key in self._visited:
+                continue
+            self._visited.add(key)
+            cycles = dict(zip(self._exit_ids, key))
+            # Frontier expansion: relax each exit by one cycle.
+            for exit_id in self._exit_ids:
+                relaxed = dict(cycles)
+                relaxed[exit_id] += 1
+                self._push(self._propagate(relaxed))
+            step = ExitBoundStep(
+                exit_cycles=cycles,
+                awct=awct(self._block, cycles),
+                step=self._step,
+            )
+            self._step += 1
+            return step
+        raise StopIteration("exit-bound enumeration exhausted")
+
+    def __iter__(self) -> Iterator[ExitBoundStep]:
+        while self._step < self._max_steps:
+            try:
+                yield self.advance()
+            except StopIteration:
+                return
+
+    def targets(self, limit: int) -> List[ExitBoundStep]:
+        """Convenience: the first *limit* targets as a list."""
+        out: List[ExitBoundStep] = []
+        for target in self:
+            out.append(target)
+            if len(out) >= limit:
+                break
+        return out

@@ -1,0 +1,107 @@
+"""Earliest/latest start (estart/lstart) computation over a dependence graph.
+
+``estart`` is the longest dependence path from the superblock entry to the
+operation (entry operations have estart 0).  ``lstart`` is computed backwards
+from per-exit deadline cycles: the lstart of an exit is the cycle it has been
+constrained to, and every other operation must issue early enough for all of
+its successors to meet their lstarts.  Operations with no dependence path to
+any constrained exit are bounded by the latest exit deadline: they must issue
+no later than the cycle in which the superblock's final exit issues.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.superblock import Superblock
+
+#: Value used for "no constraint yet" on the late side.
+INFINITY = math.inf
+
+
+@dataclass
+class Bounds:
+    """Per-operation issue-cycle bounds."""
+
+    estart: Dict[int, int]
+    lstart: Dict[int, float]
+
+    def slack(self, op_id: int) -> float:
+        return self.lstart[op_id] - self.estart[op_id]
+
+    def is_fixed(self, op_id: int) -> bool:
+        return self.lstart[op_id] == self.estart[op_id]
+
+    def is_contradictory(self) -> bool:
+        return any(self.lstart[i] < self.estart[i] for i in self.estart)
+
+    def copy(self) -> "Bounds":
+        return Bounds(dict(self.estart), dict(self.lstart))
+
+
+def compute_estart(graph: DependenceGraph) -> Dict[int, int]:
+    """Dependence-only earliest start cycle of every operation."""
+    estart: Dict[int, int] = {op_id: 0 for op_id in graph.op_ids}
+    for node in graph.topological_order():
+        for edge in graph.successors(node):
+            candidate = estart[node] + edge.latency
+            if candidate > estart[edge.dst]:
+                estart[edge.dst] = candidate
+    return estart
+
+
+def compute_lstart(
+    graph: DependenceGraph,
+    exit_bounds: Mapping[int, int],
+    default_bound: Optional[float] = None,
+) -> Dict[int, float]:
+    """Latest start of every operation given per-exit deadline cycles.
+
+    Parameters
+    ----------
+    graph:
+        The dependence graph.
+    exit_bounds:
+        Mapping from exit operation id to the latest cycle it may issue in.
+    default_bound:
+        Deadline applied to operations with no dependence path to any exit
+        in *exit_bounds*.  Defaults to the maximum of the exit bounds
+        (infinite when *exit_bounds* is empty).
+    """
+    if default_bound is None:
+        default_bound = max(exit_bounds.values()) if exit_bounds else INFINITY
+
+    lstart: Dict[int, float] = {op_id: INFINITY for op_id in graph.op_ids}
+    for op_id, bound in exit_bounds.items():
+        lstart[op_id] = min(lstart[op_id], bound)
+
+    for node in reversed(graph.topological_order()):
+        for edge in graph.successors(node):
+            candidate = lstart[edge.dst] - edge.latency
+            if candidate < lstart[node]:
+                lstart[node] = candidate
+
+    for op_id in graph.op_ids:
+        if lstart[op_id] == INFINITY:
+            lstart[op_id] = default_bound
+    return lstart
+
+
+def compute_bounds(
+    block: Superblock,
+    exit_bounds: Mapping[int, int],
+    default_bound: Optional[float] = None,
+) -> Bounds:
+    """estart and lstart for every operation of *block*."""
+    return Bounds(
+        estart=compute_estart(block.graph),
+        lstart=compute_lstart(block.graph, exit_bounds, default_bound),
+    )
+
+
+def slack(bounds: Bounds, op_id: int) -> float:
+    """Scheduling freedom (lstart - estart) of *op_id*."""
+    return bounds.slack(op_id)

@@ -1,0 +1,190 @@
+"""Changes, decisions and contradictions exchanged with the deduction engine.
+
+A *decision* is an action the scheduler wants to evaluate (Section 3,
+"a decision may be one of the following actions ...").  A *change* is an
+elementary modification of the scheduling state; decisions expand into one or
+more changes, and rules react to changes by producing further changes
+("consequences of consequences").  A *contradiction* proves that the state
+reached after the decision admits no valid schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+
+class Contradiction(Exception):
+    """No valid schedule exists for the current scheduling state."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------- #
+# change events
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Change:
+    """Base class for elementary state changes."""
+
+
+@dataclass(frozen=True)
+class BoundChange(Change):
+    """estart or lstart of an operation (or communication) moved."""
+
+    op_id: int
+    which: str  # "estart" or "lstart"
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.which not in ("estart", "lstart"):
+            raise ValueError(f"unknown bound kind {self.which!r}")
+
+
+@dataclass(frozen=True)
+class CycleFixed(Change):
+    """An operation's estart and lstart collapsed to a single cycle."""
+
+    op_id: int
+    cycle: int
+
+
+@dataclass(frozen=True)
+class CombinationChosen(Change):
+    """A combination was selected for a pair (cycle(v) - cycle(u) = distance)."""
+
+    u: int
+    v: int
+    distance: int
+
+
+@dataclass(frozen=True)
+class CombinationDiscarded(Change):
+    """One combination of a pair was ruled out."""
+
+    u: int
+    v: int
+    distance: int
+
+
+@dataclass(frozen=True)
+class VCsFused(Change):
+    """The virtual clusters of two operations were merged."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class VCsIncompatible(Change):
+    """The virtual clusters of two operations must map to different PCs."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class CommCreated(Change):
+    """A communication (full or partial) was added to the state."""
+
+    comm_id: int
+
+
+@dataclass(frozen=True)
+class CommResolved(Change):
+    """A partially linked communication became fully linked."""
+
+    comm_id: int
+
+
+# --------------------------------------------------------------------------- #
+# decisions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Decision:
+    """Base class for decisions submitted to the deduction process."""
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class ChooseCombination(Decision):
+    """Fix the relative distance of a pair: cycle(v) - cycle(u) = distance."""
+
+    u: int
+    v: int
+    distance: int
+
+
+@dataclass(frozen=True)
+class DiscardCombination(Decision):
+    """Rule out one relative distance for a pair."""
+
+    u: int
+    v: int
+    distance: int
+
+
+@dataclass(frozen=True)
+class ScheduleInCycle(Decision):
+    """Pin an operation (or communication) to a specific cycle."""
+
+    op_id: int
+    cycle: int
+
+
+@dataclass(frozen=True)
+class ForbidCycle(Decision):
+    """Disallow scheduling an operation in a specific cycle.
+
+    Only representable when the cycle is at the boundary of the operation's
+    current window (the window is kept as an interval)."""
+
+    op_id: int
+    cycle: int
+
+
+@dataclass(frozen=True)
+class FuseVCs(Decision):
+    """Force one or more operation pairs into shared virtual clusters."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def single(u: int, v: int) -> "FuseVCs":
+        return FuseVCs(pairs=((u, v),))
+
+
+@dataclass(frozen=True)
+class MarkVCsIncompatible(Decision):
+    """Force one or more operation pairs into different physical clusters."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def single(u: int, v: int) -> "MarkVCsIncompatible":
+        return MarkVCsIncompatible(pairs=((u, v),))
+
+
+@dataclass(frozen=True)
+class SetExitDeadlines(Decision):
+    """Install the per-exit deadline cycles of the current AWCT target."""
+
+    deadlines: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_mapping(deadlines: Mapping[int, int]) -> "SetExitDeadlines":
+        return SetExitDeadlines(tuple(sorted(deadlines.items())))
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.deadlines)
+
+
+@dataclass(frozen=True)
+class PinVCs(Decision):
+    """Pin operations' virtual clusters to physical clusters."""
+
+    pins: Tuple[Tuple[int, int], ...]  # (op_id, physical_cluster)

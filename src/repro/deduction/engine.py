@@ -1,0 +1,185 @@
+"""The deduction engine: apply a decision and derive its consequences.
+
+The engine implements the black box of the paper's Figure 2: given the
+current scheduling state and a decision, it produces either the new state
+with every mandatory consequence applied, or a contradiction.  Internally it
+is a worklist: the decision expands into initial change events; every change
+is shown to every rule; the changes the rules produce are queued in turn,
+until the queue drains ("the DP ends when no decision remains to be treated
+by the set of rules") or a contradiction is raised.
+
+The amount of work performed (number of rule firings) is the deterministic
+stand-in for compilation time used by the evaluation harness; callers may
+pass a :class:`WorkBudget` to bound it, reproducing the paper's per-block
+compile-time thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.deduction.consequence import (
+    Change,
+    ChooseCombination,
+    Contradiction,
+    Decision,
+    DiscardCombination,
+    ForbidCycle,
+    FuseVCs,
+    MarkVCsIncompatible,
+    PinVCs,
+    ScheduleInCycle,
+    SetExitDeadlines,
+)
+from repro.deduction.rules import default_rules
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import SchedulingState
+
+
+class BudgetExhausted(Exception):
+    """The scheduler's work budget ran out (compile-time threshold hit)."""
+
+
+@dataclass
+class WorkBudget:
+    """A deterministic compile-effort budget shared across DP invocations."""
+
+    limit: Optional[int] = None
+    spent: int = 0
+
+    def charge(self, amount: int = 1) -> None:
+        self.spent += amount
+        if self.limit is not None and self.spent > self.limit:
+            raise BudgetExhausted(
+                f"work budget of {self.limit} units exhausted ({self.spent} spent)"
+            )
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.limit is None:
+            return None
+        return max(self.limit - self.spent, 0)
+
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+
+@dataclass
+class DeductionResult:
+    """Outcome of submitting one decision to the deduction process."""
+
+    state: SchedulingState
+    consequences: List[Change] = field(default_factory=list)
+    contradiction: Optional[str] = None
+    work: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.contradiction is None
+
+
+class DeductionProcess:
+    """Applies decisions to (copies of) scheduling states using a rule set."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None, max_iterations: int = 200_000) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+        self.max_iterations = max_iterations
+        #: Total number of DP invocations performed through this instance.
+        self.invocations = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        state: SchedulingState,
+        decision: Decision,
+        budget: Optional[WorkBudget] = None,
+        in_place: bool = False,
+    ) -> DeductionResult:
+        """Evaluate *decision* on *state*.
+
+        The state is copied unless ``in_place`` is requested (used when the
+        caller has already decided to commit the decision).  The returned
+        result carries the new state, the full list of consequences and the
+        amount of work performed; a contradiction is reported in the result
+        rather than raised.  :class:`BudgetExhausted` propagates to the
+        caller because it is not a property of the decision but of the
+        scheduling session.
+        """
+        self.invocations += 1
+        working = state if in_place else state.copy()
+        consequences: List[Change] = []
+        work = 0
+        try:
+            queue: Deque[Change] = deque(self._expand(working, decision))
+            consequences.extend(queue)
+            iterations = 0
+            while queue:
+                iterations += 1
+                if iterations > self.max_iterations:
+                    raise Contradiction(
+                        "deduction did not reach a fixed point (possible rule loop)"
+                    )
+                change = queue.popleft()
+                for rule in self.rules:
+                    if not rule.applies(change):
+                        continue
+                    work += 1
+                    if budget is not None:
+                        budget.charge()
+                    produced = rule.fire(working, change)
+                    if produced:
+                        queue.extend(produced)
+                        consequences.extend(produced)
+        except Contradiction as exc:
+            return DeductionResult(
+                state=working,
+                consequences=consequences,
+                contradiction=exc.reason,
+                work=work,
+            )
+        return DeductionResult(state=working, consequences=consequences, work=work)
+
+    def check(
+        self,
+        state: SchedulingState,
+        decision: Decision,
+        budget: Optional[WorkBudget] = None,
+    ) -> DeductionResult:
+        """Evaluate *decision* without ever mutating *state* (always copies)."""
+        return self.apply(state, decision, budget=budget, in_place=False)
+
+    # ------------------------------------------------------------------ #
+    # decision expansion
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _expand(state: SchedulingState, decision: Decision) -> List[Change]:
+        if isinstance(decision, ChooseCombination):
+            return state.choose_combination(decision.u, decision.v, decision.distance)
+        if isinstance(decision, DiscardCombination):
+            return state.discard_combination(decision.u, decision.v, decision.distance)
+        if isinstance(decision, ScheduleInCycle):
+            return state.fix_cycle(decision.op_id, decision.cycle)
+        if isinstance(decision, ForbidCycle):
+            return state.forbid_cycle(decision.op_id, decision.cycle)
+        if isinstance(decision, FuseVCs):
+            changes: List[Change] = []
+            for u, v in decision.pairs:
+                changes += state.fuse_vcs(u, v)
+            return changes
+        if isinstance(decision, MarkVCsIncompatible):
+            changes = []
+            for u, v in decision.pairs:
+                changes += state.mark_incompatible(u, v)
+            return changes
+        if isinstance(decision, SetExitDeadlines):
+            return state.set_exit_deadlines(decision.as_dict())
+        if isinstance(decision, PinVCs):
+            changes = []
+            for op_id, cluster in decision.pins:
+                changes += state.pin_vc(op_id, cluster)
+            return changes
+        raise TypeError(f"unknown decision type {type(decision).__name__}")

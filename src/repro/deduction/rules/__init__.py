@@ -1,0 +1,83 @@
+"""Rule set of the deduction process.
+
+Rules are split (as in Section 3.3 of the paper) into *state updating rules*
+— propagation of bounds, insertion of mandatory communications — and
+*deduction rules* that anticipate resource conflicts, mandatory combination
+choices, mandatory fusions/incompatibilities of virtual clusters and the
+creation/promotion of partially linked communications.
+"""
+
+from repro.deduction.rules.base import Rule
+from repro.deduction.rules.bounds import (
+    ForwardBoundPropagation,
+    BackwardBoundPropagation,
+    ComponentPropagation,
+    CommunicationLinkRule,
+)
+from repro.deduction.rules.resources import (
+    FixedCycleResourceRule,
+    ClassWindowPressureRule,
+)
+from repro.deduction.rules.combinations import (
+    CombinationWindowRule,
+    MustOverlapRule,
+    ChosenCombinationClusterRule,
+)
+from repro.deduction.rules.cluster import (
+    CommunicationSlackRule,
+    CommunicationTimingRule,
+    VCFusionResourceRule,
+)
+from repro.deduction.rules.plc import (
+    IncompatibilityCommunicationRule,
+    PLCCreationRule,
+    PLCPromotionRule,
+)
+
+
+def default_rules(enable_plc: bool = True) -> list:
+    """The rule set used by the proposed scheduler.
+
+    ``enable_plc=False`` removes the partially-linked-communication rules;
+    used by the ablation benchmarks to quantify their contribution.
+    """
+    rules = [
+        ForwardBoundPropagation(),
+        BackwardBoundPropagation(),
+        ComponentPropagation(),
+        CommunicationLinkRule(),
+        FixedCycleResourceRule(),
+        ClassWindowPressureRule(),
+        CombinationWindowRule(),
+        MustOverlapRule(),
+        ChosenCombinationClusterRule(),
+        CommunicationSlackRule(),
+        CommunicationTimingRule(),
+        VCFusionResourceRule(),
+        IncompatibilityCommunicationRule(),
+    ]
+    if enable_plc:
+        rules.append(PLCCreationRule())
+        rules.append(PLCPromotionRule())
+    return rules
+
+
+__all__ = [
+    "Rule",
+    "default_rules",
+    "ForwardBoundPropagation",
+    "BackwardBoundPropagation",
+    "ComponentPropagation",
+    "CommunicationLinkRule",
+    "FixedCycleResourceRule",
+    "ClassWindowPressureRule",
+    "CombinationWindowRule",
+    "MustOverlapRule",
+    "ChosenCombinationClusterRule",
+    "CommunicationSlackRule",
+    "CommunicationTimingRule",
+    "VCFusionResourceRule",
+    "IncompatibilityCommunicationRule",
+    "PLCCreationRule",
+    "PLCPromotionRule",
+]

@@ -1,0 +1,34 @@
+"""Base class shared by all deduction rules."""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Type
+
+from repro.deduction.consequence import Change
+from repro.deduction.state import SchedulingState
+
+
+class Rule:
+    """One rule of the deduction process.
+
+    A rule declares the change types it reacts to (``triggers``) and
+    implements :meth:`fire`, which inspects the state, possibly applies
+    further mandatory changes through the state's mutators, and returns the
+    change events those mutators produced so the engine can keep deducing
+    ("consequences of consequences").  Rules raise
+    :class:`~repro.deduction.consequence.Contradiction` (usually indirectly,
+    through the state mutators) when the state admits no valid schedule.
+    """
+
+    #: Change classes this rule reacts to.
+    triggers: Tuple[Type[Change], ...] = ()
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def applies(self, change: Change) -> bool:
+        return isinstance(change, self.triggers)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,131 @@
+"""State-updating rules: propagation of estart/lstart changes.
+
+These rules keep the bounds coherent with the dependence graph (including
+communication edges added during scheduling) and with the rigid offsets of
+connected components formed by chosen combinations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    CombinationChosen,
+    CommCreated,
+    CommResolved,
+    CycleFixed,
+)
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import INFINITY, SchedulingState
+
+
+class ForwardBoundPropagation(Rule):
+    """An estart increase pushes the estarts of all successors."""
+
+    triggers = (BoundChange, CycleFixed)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, BoundChange) and change.which != "estart":
+            return []
+        op_id = change.op_id
+        if not state.has_op(op_id):
+            return []
+        out: List[Change] = []
+        base = state.estart[op_id]
+        for dst, latency in state.succ_edges(op_id):
+            out += state.set_estart(dst, base + latency)
+        return out
+
+
+class BackwardBoundPropagation(Rule):
+    """An lstart decrease pulls the lstarts of all predecessors."""
+
+    triggers = (BoundChange, CycleFixed)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, BoundChange) and change.which != "lstart":
+            return []
+        op_id = change.op_id
+        if not state.has_op(op_id) or state.lstart[op_id] == INFINITY:
+            return []
+        out: List[Change] = []
+        base = int(state.lstart[op_id])
+        for src, latency in state.pred_edges(op_id):
+            out += state.set_lstart(src, base - latency)
+        return out
+
+
+class ComponentPropagation(Rule):
+    """Members of a connected component move rigidly together.
+
+    When a combination is chosen, or when a bound of any member changes, the
+    offsets recorded in the component imply bounds for every other member.
+    """
+
+    triggers = (BoundChange, CycleFixed, CombinationChosen)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, CombinationChosen):
+            anchors = [change.u, change.v]
+        else:
+            anchors = [change.op_id]
+        out: List[Change] = []
+        for anchor in anchors:
+            if not state.has_op(anchor) or anchor not in state.components:
+                continue
+            members = state.components.component(anchor)
+            if len(members) <= 1:
+                continue
+            estart_a = state.estart[anchor]
+            lstart_a = state.lstart[anchor]
+            for member, offset in members:
+                if member == anchor:
+                    continue
+                out += state.set_estart(member, estart_a + offset)
+                if lstart_a != INFINITY:
+                    out += state.set_lstart(member, int(lstart_a) + offset)
+                # The member's own bounds reflect back onto the anchor.
+                out += state.set_estart(anchor, state.estart[member] - offset)
+                if state.lstart[member] != INFINITY:
+                    out += state.set_lstart(anchor, int(state.lstart[member]) - offset)
+        return out
+
+
+class CommunicationLinkRule(Rule):
+    """A created/resolved communication couples producer, copy and consumer.
+
+    The copy cannot start before the producer's result is available and the
+    consumer cannot start before the copy has crossed the bus; symmetrically
+    on the late side.
+    """
+
+    triggers = (CommCreated, CommResolved)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        comm_id = change.comm_id
+        if comm_id not in state.comms:
+            return []
+        comm = state.comms.get(comm_id)
+        out: List[Change] = []
+        if comm_id not in state.estart:
+            return []
+        if comm.producer is not None:
+            out += state.set_estart(
+                comm_id, state.estart[comm.producer] + state.latency(comm.producer)
+            )
+            if state.lstart[comm_id] != INFINITY:
+                out += state.set_lstart(
+                    comm.producer,
+                    int(state.lstart[comm_id]) - state.latency(comm.producer),
+                )
+        if comm.consumer is not None:
+            out += state.set_estart(
+                comm.consumer, state.estart[comm_id] + state.bus_latency
+            )
+            if state.lstart[comm.consumer] != INFINITY:
+                out += state.set_lstart(
+                    comm_id, int(state.lstart[comm.consumer]) - state.bus_latency
+                )
+        return out

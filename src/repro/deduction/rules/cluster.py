@@ -1,0 +1,188 @@
+"""Cluster-assignment rules (paper Rules 1, 3, 4 and fusion feasibility).
+
+These rules translate scheduling information (bounds) into mandatory virtual
+cluster fusions, and verify that fusions remain executable on one physical
+cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    Contradiction,
+    CycleFixed,
+    VCsFused,
+)
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import INFINITY, SchedulingState
+from repro.ir.operation import OpClass
+
+
+class CommunicationSlackRule(Rule):
+    """Paper Rule 1: no room for a communication forces a fusion.
+
+    When a bound change leaves fewer cycles between a producer and a consumer
+    in different (still compatible) virtual clusters than an inter-cluster
+    copy needs, the two VCs must be fused — if they were split later, the
+    required copy could not be scheduled.  If the VCs are already
+    incompatible, the same situation is a contradiction.
+    """
+
+    triggers = (BoundChange, CycleFixed)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        op_id = change.op_id
+        if not state.has_op(op_id) or state.is_comm(op_id):
+            return []
+        out: List[Change] = []
+        graph = state.block.graph
+        edges = [
+            (e.src, e.dst) for e in graph.successors(op_id) if e.is_register_edge
+        ] + [
+            (e.src, e.dst) for e in graph.predecessors(op_id) if e.is_register_edge
+        ]
+        bus = state.bus_latency
+        for producer, consumer in edges:
+            if state.same_vc(producer, consumer):
+                continue
+            if state.lstart[consumer] == INFINITY:
+                continue
+            room = int(state.lstart[consumer]) - (
+                state.estart[producer] + state.latency(producer)
+            )
+            if room >= bus:
+                continue
+            if state.vcg.are_incompatible(producer, consumer):
+                raise Contradiction(
+                    f"producer {producer} and consumer {consumer} are in incompatible "
+                    f"virtual clusters but only {room} cycles remain for a copy "
+                    f"needing {bus}"
+                )
+            out += state.fuse_vcs(producer, consumer)
+        return out
+
+
+class CommunicationTimingRule(Rule):
+    """Paper Rules 3 and 4: a too-late communication forces fusions.
+
+    Each value is communicated at most once.  Consumers of a communicated
+    value that cannot wait for the copy (their lstart is earlier than the
+    copy's earliest completion) must be fused with the producer so they can
+    read the value locally.
+    """
+
+    triggers = (BoundChange, CycleFixed)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        op_id = change.op_id
+        if not state.has_op(op_id):
+            return []
+        out: List[Change] = []
+        bus = state.bus_latency
+
+        if state.is_comm(op_id):
+            # Rule 3: the communication's estart moved; late consumers of the
+            # value must be fused with the producer.
+            comm = state.comms.get(op_id) if op_id in state.comms else None
+            if comm is None or not comm.is_fully_linked or comm.value is None:
+                return []
+            producer = comm.producer
+            for consumer in state.block.graph.consumers_of(comm.value):
+                if state.same_vc(producer, consumer):
+                    continue
+                if state.lstart[consumer] == INFINITY:
+                    continue
+                if int(state.lstart[consumer]) < state.estart[op_id] + bus:
+                    out += state.fuse_vcs(producer, consumer)
+            return out
+
+        # Rule 4: the lstart of a consumer moved; if the value it reads is
+        # communicated and the copy cannot arrive in time, fuse with the
+        # producer.
+        if state.lstart[op_id] == INFINITY:
+            return []
+        for edge in state.block.graph.predecessors(op_id):
+            if not edge.is_register_edge:
+                continue
+            comm = state.flc_for_value(edge.value)
+            if comm is None:
+                continue
+            producer = edge.src
+            if state.same_vc(producer, op_id):
+                continue
+            if state.estart[comm.comm_id] + bus > int(state.lstart[op_id]):
+                out += state.fuse_vcs(producer, op_id)
+        return out
+
+
+class VCFusionResourceRule(Rule):
+    """A fusion must keep the merged VC executable on one cluster.
+
+    Checks that operations of the merged virtual cluster that are rigidly
+    placed in the same cycle (either pinned, or linked by a chosen
+    combination at distance zero) do not exceed the per-cluster capacities.
+    """
+
+    triggers = (VCsFused,)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        members = state.vcg.members(change.u)
+        machine = state.machine
+        per_cluster_issue = max(c.issue_width for c in machine.clusters)
+
+        # Group members by (relative placement, class) when a rigid relation
+        # is known: pinned cycles and connected-component offsets.
+        fixed_usage: Dict[Tuple[int, OpClass], int] = {}
+        fixed_total: Dict[int, int] = {}
+        for op_id in members:
+            cycle = state.cycle_of(op_id)
+            if cycle is None:
+                continue
+            op_class = state.op(op_id).op_class
+            fixed_usage[(cycle, op_class)] = fixed_usage.get((cycle, op_class), 0) + 1
+            fixed_total[cycle] = fixed_total.get(cycle, 0) + 1
+
+        for (cycle, op_class), count in fixed_usage.items():
+            per_cluster = max(
+                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
+            )
+            if count > per_cluster:
+                raise Contradiction(
+                    f"virtual cluster holds {count} {op_class} operations in cycle "
+                    f"{cycle}; a single cluster offers {per_cluster}"
+                )
+        for cycle, count in fixed_total.items():
+            if count > per_cluster_issue:
+                raise Contradiction(
+                    f"virtual cluster issues {count} operations in cycle {cycle}; "
+                    f"a single cluster issues at most {per_cluster_issue}"
+                )
+
+        # Same check through connected-component offsets for members that are
+        # not pinned yet but already rigidly co-scheduled.
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                offset = state.components.offset_between(first, second)
+                if offset != 0:
+                    continue
+                op_a, op_b = state.op(first), state.op(second)
+                if op_a.op_class == op_b.op_class:
+                    per_cluster = max(
+                        machine.cluster_capacity(c, op_a.op_class)
+                        for c in machine.cluster_ids
+                    )
+                    if per_cluster < 2:
+                        raise Contradiction(
+                            f"operations {first} and {second} share a cycle and the "
+                            f"fused virtual cluster but no cluster issues two "
+                            f"{op_a.op_class} operations"
+                        )
+                if per_cluster_issue < 2:
+                    raise Contradiction(
+                        f"operations {first} and {second} share a cycle and the fused "
+                        f"virtual cluster but clusters are single-issue"
+                    )
+        return []

@@ -1,0 +1,116 @@
+"""Deduction rules about combinations of the scheduling graph."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    CombinationChosen,
+    CombinationDiscarded,
+    Contradiction,
+    CycleFixed,
+)
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import SchedulingState
+from repro.sgraph.combination import pair_key
+
+
+class CombinationWindowRule(Rule):
+    """Discard combinations whose placement window has become empty.
+
+    A combination of a pair restricts the cycles at which both operations
+    can issue simultaneously; when bound tightening empties that window the
+    combination can no longer appear in any schedule and must be discarded.
+    """
+
+    triggers = (BoundChange, CycleFixed)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        op_id = change.op_id
+        if not state.has_op(op_id) or state.is_comm(op_id):
+            return []
+        out: List[Change] = []
+        for other in state.sgraph.neighbors(op_id):
+            if state.chosen_distance(op_id, other) is not None:
+                # The pair is already rigid; an empty window would have been a
+                # bound contradiction instead.
+                continue
+            for distance in state.remaining_combinations(op_id, other):
+                a, b = pair_key(op_id, other)
+                low, high = state.combination_window(a, b, distance)
+                if low > high:
+                    out += state.discard_combination(a, b, distance)
+        return out
+
+
+class MustOverlapRule(Rule):
+    """Pairs forced to overlap must take one of their combinations.
+
+    When the two operations' windows no longer allow them to be separated by
+    at least the earlier one's latency, every schedule overlaps them, so one
+    of their combinations must be chosen.  If a single candidate remains it
+    becomes mandatory (the situation of the paper's worked example where
+    discarding combination 1 between I4 and B0 "is equivalent to choosing
+    combination 0"); if none remains the state is contradictory.
+    """
+
+    triggers = (BoundChange, CycleFixed, CombinationDiscarded)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, CombinationDiscarded):
+            pairs = [(change.u, change.v)]
+        else:
+            op_id = change.op_id
+            if not state.has_op(op_id) or state.is_comm(op_id):
+                return []
+            pairs = [(op_id, other) for other in state.sgraph.neighbors(op_id)]
+        out: List[Change] = []
+        for u, v in pairs:
+            if state.chosen_distance(u, v) is not None:
+                continue
+            if not state.must_overlap(u, v):
+                continue
+            remaining = state.remaining_combinations(u, v)
+            if not remaining:
+                raise Contradiction(
+                    f"operations {u} and {v} must overlap but no combination remains"
+                )
+            if len(remaining) == 1:
+                a, b = pair_key(u, v)
+                out += state.choose_combination(a, b, remaining[0])
+        return out
+
+
+class ChosenCombinationClusterRule(Rule):
+    """Cluster-assignment consequences of a chosen combination (paper Rule 2).
+
+    Choosing a combination that places two operations in the same cycle when
+    a single cluster cannot issue both (same functional-unit class with one
+    unit per cluster, or a cluster issue width of one) forces their virtual
+    clusters apart.
+    """
+
+    triggers = (CombinationChosen,)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if change.distance != 0:
+            return []
+        u, v = change.u, change.v
+        op_u, op_v = state.op(u), state.op(v)
+        machine = state.machine
+        out: List[Change] = []
+        same_class = op_u.op_class == op_v.op_class
+        per_cluster_class = max(
+            machine.cluster_capacity(c, op_u.op_class) for c in machine.cluster_ids
+        )
+        per_cluster_issue = max(c.issue_width for c in machine.clusters)
+        if (same_class and per_cluster_class < 2) or per_cluster_issue < 2:
+            if state.same_vc(u, v):
+                raise Contradiction(
+                    f"operations {u} and {v} share a cycle and a virtual cluster but "
+                    f"no cluster can issue both"
+                )
+            out += state.mark_incompatible(u, v)
+        return out

@@ -1,0 +1,121 @@
+"""Communication insertion and partially linked communications (Rules 5-7).
+
+When two virtual clusters become incompatible, every value flowing between
+them needs an inter-cluster copy: the *state updating* part of the deduction
+process inserts it.  The *deduction* part anticipates copies that are not yet
+forced but will be — partially linked communications (PLCs) — and promotes
+them to fully linked ones as soon as the open endpoint is determined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.deduction.consequence import (
+    Change,
+    VCsFused,
+    VCsIncompatible,
+)
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import SchedulingState
+
+
+class IncompatibilityCommunicationRule(Rule):
+    """Insert the copies required by a new incompatibility.
+
+    For every register edge whose producer and consumer now live in
+    incompatible virtual clusters, a fully linked communication is created
+    (reusing the value's existing communication when one exists — each value
+    is transferred at most once).  The rule also fires on fusions, because a
+    fusion can extend an existing incompatibility to operations that were
+    previously in a third, unrelated virtual cluster."""
+
+    triggers = (VCsIncompatible, VCsFused)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        vc_u = state.vcg.vc_of(change.u)
+        vc_v = state.vcg.vc_of(change.v)
+        affected = {vc_u, vc_v}
+        out: List[Change] = []
+        for edge in state.block.graph.register_edges():
+            roots = {state.vcg.vc_of(edge.src), state.vcg.vc_of(edge.dst)}
+            if not (roots & affected):
+                continue
+            if not state.vcg.are_incompatible(edge.src, edge.dst):
+                continue
+            out += state.add_flc(edge.src, edge.dst, edge.value)
+        return out
+
+
+class PLCCreationRule(Rule):
+    """Paper Rule 5: anticipate communications with partial links.
+
+    When two VCs become incompatible and operations from each produce values
+    consumed by a common successor, at least one of the two values will have
+    to be communicated to that successor (it cannot be co-located with
+    both).  A producer-open PLC is created so the bus pressure and the
+    timing window of that future copy are visible to the other rules."""
+
+    triggers = (VCsIncompatible,)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        vc_u = state.vcg.vc_of(change.u)
+        vc_v = state.vcg.vc_of(change.v)
+        graph = state.block.graph
+        out: List[Change] = []
+        members_u = [o for o in state.vcg.members(change.u)]
+        members_v = [o for o in state.vcg.members(change.v)]
+        for a in members_u:
+            for edge_a in graph.successors(a):
+                if not edge_a.is_register_edge:
+                    continue
+                consumer = edge_a.dst
+                consumer_vc = state.vcg.vc_of(consumer)
+                if consumer_vc in (vc_u, vc_v):
+                    continue
+                for b in members_v:
+                    edge_b = graph.edge(b, consumer)
+                    if edge_b is None or not edge_b.is_register_edge:
+                        continue
+                    out += state.add_plc(
+                        alternatives=((a, consumer), (b, consumer)),
+                        consumer=consumer,
+                    )
+        return out
+
+
+class PLCPromotionRule(Rule):
+    """Paper Rules 6 and 7: resolve partially linked communications.
+
+    * Rule 6 — when the producer and consumer of one alternative are fused,
+      that alternative no longer needs a copy, so the communication is
+      assigned to the remaining alternative.
+    * Rule 7 — when the producer and consumer of one alternative become
+      incompatible, that alternative definitely needs the copy, so the
+      communication is assigned to it.
+    """
+
+    triggers = (VCsFused, VCsIncompatible)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        out: List[Change] = []
+        for comm in list(state.comms.partially_linked()):
+            for producer, consumer in comm.alternatives:
+                if comm.comm_id not in state.comms:
+                    break
+                current = state.comms.get(comm.comm_id)
+                if current.is_fully_linked:
+                    break
+                if (producer, consumer) not in current.alternatives:
+                    continue
+                if state.same_vc(producer, consumer):
+                    # Rule 6: this alternative is satisfied locally.
+                    out += state.remove_plc_alternative(comm.comm_id, (producer, consumer))
+                elif state.vcg.are_incompatible(producer, consumer):
+                    # Rule 7: this alternative definitely needs the copy.
+                    edge = state.block.graph.edge(producer, consumer)
+                    value = edge.value if edge is not None and edge.value else None
+                    if value is None:
+                        value = f"plc{comm.comm_id}"
+                    out += state.resolve_plc(comm.comm_id, producer, consumer, value)
+        return out

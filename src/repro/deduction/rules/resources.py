@@ -1,0 +1,252 @@
+"""Resource-awareness rules.
+
+The paper stresses that the scheduling rules of the deduction process mainly
+"deal with the problem of the interaction between dependences and resources":
+they look for resource usage requirements that change instruction bounds and
+select or discard combinations.  The two rules here cover the machine-wide
+and per-cluster issue pressure created by operations already pinned to a
+cycle, and the aggregate per-class pressure of a whole window of cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    Contradiction,
+    CycleFixed,
+    VCsFused,
+)
+from repro.deduction.rules.base import Rule
+from repro.deduction.state import INFINITY, SchedulingState
+from repro.ir.operation import OpClass
+
+
+def _fixed_ops_at(state: SchedulingState, cycle: int) -> List[int]:
+    return [i for i in state.all_ids if state.cycle_of(i) == cycle]
+
+
+class FixedCycleResourceRule(Rule):
+    """Operations pinned to a cycle consume issue slots, units and buses.
+
+    When the operations already fixed at a cycle saturate a machine-wide or
+    per-cluster capacity, operations still having slack are pushed out of
+    that cycle, pairs that can no longer share a cluster become
+    incompatible, and over-subscription is a contradiction.
+    """
+
+    triggers = (CycleFixed, VCsFused)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, VCsFused):
+            return self._check_vc_cycles(state, change.u)
+        return self._check_cycle(state, change.cycle)
+
+    # -------------------------------------------------------------- #
+    def _check_cycle(self, state: SchedulingState, cycle: int) -> List[Change]:
+        out: List[Change] = []
+        fixed = _fixed_ops_at(state, cycle)
+        machine = state.machine
+
+        # --- machine-wide per-class capacity ---------------------------------
+        by_class: Dict[OpClass, List[int]] = {}
+        for op_id in fixed:
+            by_class.setdefault(state.op(op_id).op_class, []).append(op_id)
+        for op_class, members in by_class.items():
+            capacity = machine.per_cycle_capacity(op_class)
+            if len(members) > capacity:
+                raise Contradiction(
+                    f"{len(members)} {op_class} operations fixed in cycle {cycle}, "
+                    f"machine capacity is {capacity}"
+                )
+            if len(members) == capacity:
+                out += self._push_others(state, cycle, op_class, exclude=set(members))
+
+        # --- machine-wide issue width -----------------------------------------
+        non_copy_fixed = [i for i in fixed if not state.op(i).is_copy]
+        issue_width = machine.total_issue_width
+        if len(non_copy_fixed) > issue_width:
+            raise Contradiction(
+                f"{len(non_copy_fixed)} operations fixed in cycle {cycle}, "
+                f"total issue width is {issue_width}"
+            )
+        if len(non_copy_fixed) == issue_width:
+            out += self._push_others(state, cycle, None, exclude=set(non_copy_fixed))
+
+        # --- per-cluster capacity inside each virtual cluster ------------------
+        out += self._check_vc_capacity_at(state, cycle, fixed)
+
+        # --- bus occupancy ------------------------------------------------------
+        out += self._check_bus(state, cycle)
+        return out
+
+    def _push_others(
+        self,
+        state: SchedulingState,
+        cycle: int,
+        op_class,
+        exclude,
+    ) -> List[Change]:
+        """Push unfixed operations (of *op_class*, or any non-copy class when
+        None) out of a saturated cycle."""
+        out: List[Change] = []
+        for op_id in state.all_ids:
+            if op_id in exclude or state.is_fixed(op_id):
+                continue
+            op = state.op(op_id)
+            if op_class is None:
+                if op.is_copy:
+                    continue
+            elif op.op_class is not op_class:
+                continue
+            if state.estart[op_id] == cycle:
+                out += state.set_estart(op_id, cycle + 1)
+            elif state.lstart[op_id] == cycle:
+                out += state.set_lstart(op_id, cycle - 1)
+        return out
+
+    def _check_vc_capacity_at(
+        self, state: SchedulingState, cycle: int, fixed: List[int]
+    ) -> List[Change]:
+        out: List[Change] = []
+        machine = state.machine
+        originals = [i for i in fixed if not state.is_comm(i)]
+        by_class: Dict[OpClass, List[int]] = {}
+        for op_id in originals:
+            by_class.setdefault(state.op(op_id).op_class, []).append(op_id)
+        for op_class, members in by_class.items():
+            per_cluster = max(
+                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
+            )
+            if per_cluster == 0:
+                raise Contradiction(f"no cluster can execute {op_class} operations")
+            # Too many same-class operations in one cycle for the machine as
+            # a whole (already checked machine-wide), or within one VC.
+            by_vc: Dict[int, List[int]] = {}
+            for op_id in members:
+                by_vc.setdefault(state.vcg.vc_of(op_id), []).append(op_id)
+            for vc_members in by_vc.values():
+                if len(vc_members) > per_cluster:
+                    raise Contradiction(
+                        f"{len(vc_members)} {op_class} operations of one virtual cluster "
+                        f"fixed in cycle {cycle}, per-cluster capacity is {per_cluster}"
+                    )
+            # With capacity one per cluster, any two same-class operations in
+            # the same cycle must map to different clusters (paper Rule 2 for
+            # cycle co-residence).
+            if per_cluster == 1 and len(members) > 1:
+                for i, first in enumerate(members):
+                    for second in members[i + 1:]:
+                        if not state.same_vc(first, second):
+                            out += state.mark_incompatible(first, second)
+            # The whole machine can hold at most per_cluster * n_clusters of
+            # this class per cycle even across different VCs.
+            if len(members) > per_cluster * machine.n_clusters:
+                raise Contradiction(
+                    f"{len(members)} {op_class} operations fixed in cycle {cycle}, "
+                    f"machine holds {per_cluster * machine.n_clusters}"
+                )
+        return out
+
+    def _check_vc_cycles(self, state: SchedulingState, anchor: int) -> List[Change]:
+        """After a fusion, re-validate the per-cluster capacity of the merged VC."""
+        members = state.vcg.members(anchor)
+        machine = state.machine
+        usage: Dict[Tuple[int, OpClass], int] = {}
+        for op_id in members:
+            cycle = state.cycle_of(op_id)
+            if cycle is None:
+                continue
+            key = (cycle, state.op(op_id).op_class)
+            usage[key] = usage.get(key, 0) + 1
+        for (cycle, op_class), count in usage.items():
+            per_cluster = max(
+                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
+            )
+            if count > per_cluster:
+                raise Contradiction(
+                    f"fused virtual cluster needs {count} {op_class} slots in cycle "
+                    f"{cycle}, per-cluster capacity is {per_cluster}"
+                )
+        return []
+
+    def _check_bus(self, state: SchedulingState, cycle: int) -> List[Change]:
+        out: List[Change] = []
+        machine = state.machine
+        if machine.bus.count == 0:
+            if state.comm_ids:
+                raise Contradiction("communications exist but the machine has no bus")
+            return out
+        occupancy = machine.bus.occupancy
+        fixed_comms = [c for c in state.comm_ids if state.is_fixed(c)]
+        # A transfer fixed at cycle t occupies the bus during
+        # [t, t + occupancy - 1]; a change at `cycle` can create contention in
+        # any cycle its own occupancy window touches.
+        for probe in range(cycle - occupancy + 1, cycle + occupancy):
+            busy = 0
+            for comm in fixed_comms:
+                start = state.estart[comm]
+                if start <= probe <= start + occupancy - 1:
+                    busy += 1
+            if busy > machine.bus.count:
+                raise Contradiction(
+                    f"{busy} communications occupy the bus in cycle {probe}, "
+                    f"only {machine.bus.count} available"
+                )
+            if busy == machine.bus.count:
+                for comm in state.comm_ids:
+                    if state.is_fixed(comm):
+                        continue
+                    if state.estart[comm] == probe:
+                        out += state.set_estart(comm, probe + 1)
+                    elif state.lstart[comm] == probe:
+                        out += state.set_lstart(comm, probe - 1)
+        return out
+
+
+class ClassWindowPressureRule(Rule):
+    """Aggregate per-class pressure over the whole scheduling window.
+
+    If the operations of one class cannot all be issued between the smallest
+    estart and the largest lstart of the class given the machine-wide
+    capacity, no schedule exists.  Additionally, when the pressure is exactly
+    tight for the window starting at cycle 0, operations of that class whose
+    lstart equals the window end cannot move later, and ones at the start
+    cannot move earlier — a cheap version of the paper's resource-usage
+    study that tightens bounds before contradictions appear.
+    """
+
+    triggers = (CycleFixed, BoundChange)
+
+    def fire(self, state: SchedulingState, change: Change) -> List[Change]:
+        if isinstance(change, BoundChange) and change.which != "lstart":
+            return []
+        machine = state.machine
+        by_class: Dict[OpClass, List[int]] = {}
+        for op_id in state.all_ids:
+            if state.lstart[op_id] == INFINITY:
+                continue
+            by_class.setdefault(state.op(op_id).op_class, []).append(op_id)
+        for op_class, members in by_class.items():
+            capacity = machine.per_cycle_capacity(op_class)
+            if capacity == 0:
+                raise Contradiction(f"machine cannot execute {op_class} operations")
+            low = min(state.estart[i] for i in members)
+            high = max(int(state.lstart[i]) for i in members)
+            window = high - low + 1
+            # A transfer on a non-pipelined bus holds it for several cycles,
+            # so each copy consumes `occupancy` bus-cycles; the usable bus
+            # cycles extend `occupancy - 1` past the last possible start.
+            demand = len(members)
+            slots = window
+            if op_class is OpClass.COPY:
+                demand *= machine.bus.occupancy
+                slots += machine.bus.occupancy - 1
+            if demand > capacity * slots:
+                raise Contradiction(
+                    f"{len(members)} {op_class} operations must issue within "
+                    f"cycles [{low}, {high}] but capacity is {capacity}/cycle"
+                )
+        return []

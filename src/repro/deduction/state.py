@@ -1,0 +1,637 @@
+"""The scheduling state manipulated by the deduction process.
+
+Following Section 4.3 of the paper, a scheduling state is defined by
+
+1. the estart/lstart of each instruction (including scheduler-inserted
+   communications),
+2. the list of chosen combinations,
+3. the list of discarded combinations,
+4. the list of non-treated combinations,
+5. the set of connected components (complex instructions), and
+6. the virtual cluster graph.
+
+The state exposes *mutators* that perform one elementary change, keep the
+representation coherent, and return the corresponding change events so the
+deduction engine can feed them back to its rules.  Mutators raise
+:class:`~repro.deduction.consequence.Contradiction` when the change is
+impossible, which is exactly the paper's notion of a contradiction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bounds.estart import compute_estart
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    CombinationChosen,
+    CombinationDiscarded,
+    CommCreated,
+    CommResolved,
+    Contradiction,
+    CycleFixed,
+    VCsFused,
+    VCsIncompatible,
+)
+from repro.ir.operation import OpClass, Operation, make_copy
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+from repro.sgraph.combination import pair_key
+from repro.sgraph.components import OffsetContradiction, OffsetUnionFind
+from repro.sgraph.scheduling_graph import SchedulingGraph
+from repro.vcluster.communication import Communication, CommunicationSet
+from repro.vcluster.vcg import VCContradiction, VirtualClusterGraph
+
+INFINITY = math.inf
+
+
+class SchedulingState:
+    """Mutable scheduling state for one superblock and one AWCT target."""
+
+    def __init__(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        sgraph: SchedulingGraph,
+    ) -> None:
+        self.block = block
+        self.machine = machine
+        self.sgraph = sgraph
+
+        self.estart: Dict[int, int] = dict(compute_estart(block.graph))
+        self.lstart: Dict[int, float] = {op_id: INFINITY for op_id in block.op_ids}
+
+        self._chosen: Dict[Tuple[int, int], int] = {}
+        self._discarded: Dict[Tuple[int, int], Set[int]] = {}
+
+        self.components = OffsetUnionFind(block.op_ids)
+        self.vcg = VirtualClusterGraph(block.op_ids)
+        self.comms = CommunicationSet()
+
+        # Extra dependence edges (src, dst, latency) created for communications.
+        self._comm_edges: List[Tuple[int, int, int]] = []
+        # Operations created for communications, keyed by comm id.
+        self._comm_ops: Dict[int, Operation] = {}
+        # Single fully-linked communication per value (the paper's assumption
+        # that each value is communicated at most once).
+        self._value_flc: Dict[str, int] = {}
+        self._next_comm_id = (max(block.op_ids) + 1) if block.op_ids else 0
+
+        self.exit_deadlines: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # copying
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "SchedulingState":
+        clone = SchedulingState.__new__(SchedulingState)
+        clone.block = self.block
+        clone.machine = self.machine
+        clone.sgraph = self.sgraph
+        clone.estart = dict(self.estart)
+        clone.lstart = dict(self.lstart)
+        clone._chosen = dict(self._chosen)
+        clone._discarded = {k: set(v) for k, v in self._discarded.items()}
+        clone.components = self.components.copy()
+        clone.vcg = self.vcg.copy()
+        clone.comms = self.comms.copy()
+        clone._comm_edges = list(self._comm_edges)
+        clone._comm_ops = dict(self._comm_ops)
+        clone._value_flc = dict(self._value_flc)
+        clone._next_comm_id = self._next_comm_id
+        clone.exit_deadlines = dict(self.exit_deadlines)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # operations (original + communications)
+    # ------------------------------------------------------------------ #
+    def is_comm(self, op_id: int) -> bool:
+        return op_id in self._comm_ops
+
+    def has_op(self, op_id: int) -> bool:
+        """Whether *op_id* is a live operation of this state.
+
+        Communications can be dropped (redundant PLCs); change events that
+        still reference them must be ignored by the rules."""
+        return op_id in self.estart
+
+    def op(self, op_id: int) -> Operation:
+        if op_id in self._comm_ops:
+            return self._comm_ops[op_id]
+        return self.block.op(op_id)
+
+    @property
+    def original_ids(self) -> List[int]:
+        return self.block.op_ids
+
+    @property
+    def comm_ids(self) -> List[int]:
+        return sorted(self._comm_ops)
+
+    @property
+    def all_ids(self) -> List[int]:
+        return self.block.op_ids + sorted(self._comm_ops)
+
+    def latency(self, op_id: int) -> int:
+        return self.op(op_id).latency
+
+    # ------------------------------------------------------------------ #
+    # dependence structure including communication edges
+    # ------------------------------------------------------------------ #
+    def succ_edges(self, op_id: int) -> List[Tuple[int, int]]:
+        """Successors of *op_id* with the minimum issue distance to each."""
+        result: List[Tuple[int, int]] = []
+        if not self.is_comm(op_id):
+            result.extend(
+                (edge.dst, edge.latency) for edge in self.block.graph.successors(op_id)
+            )
+        result.extend((dst, lat) for src, dst, lat in self._comm_edges if src == op_id)
+        return result
+
+    def pred_edges(self, op_id: int) -> List[Tuple[int, int]]:
+        """Predecessors of *op_id* with the minimum issue distance from each."""
+        result: List[Tuple[int, int]] = []
+        if not self.is_comm(op_id):
+            result.extend(
+                (edge.src, edge.latency) for edge in self.block.graph.predecessors(op_id)
+            )
+        result.extend((src, lat) for src, dst, lat in self._comm_edges if dst == op_id)
+        return result
+
+    def comm_edges(self) -> List[Tuple[int, int, int]]:
+        return list(self._comm_edges)
+
+    # ------------------------------------------------------------------ #
+    # bounds
+    # ------------------------------------------------------------------ #
+    def slack(self, op_id: int) -> float:
+        return self.lstart[op_id] - self.estart[op_id]
+
+    def is_fixed(self, op_id: int) -> bool:
+        return self.lstart[op_id] == self.estart[op_id]
+
+    def cycle_of(self, op_id: int) -> Optional[int]:
+        """The fixed cycle of *op_id*, or None when it still has slack."""
+        if self.is_fixed(op_id):
+            return self.estart[op_id]
+        return None
+
+    @property
+    def horizon(self) -> int:
+        """Largest finite lstart (the last cycle the schedule may use)."""
+        finite = [int(v) for v in self.lstart.values() if v != INFINITY]
+        return max(finite) if finite else 0
+
+    def set_estart(self, op_id: int, value: int) -> List[Change]:
+        current = self.estart[op_id]
+        if value <= current:
+            return []
+        if value > self.lstart[op_id]:
+            raise Contradiction(
+                f"estart of {op_id} would become {value} > lstart {self.lstart[op_id]}"
+            )
+        self.estart[op_id] = value
+        changes: List[Change] = [BoundChange(op_id, "estart", value)]
+        if self.lstart[op_id] == value:
+            changes.append(CycleFixed(op_id, value))
+        return changes
+
+    def set_lstart(self, op_id: int, value: int) -> List[Change]:
+        current = self.lstart[op_id]
+        if value >= current:
+            return []
+        if value < self.estart[op_id]:
+            raise Contradiction(
+                f"lstart of {op_id} would become {value} < estart {self.estart[op_id]}"
+            )
+        self.lstart[op_id] = value
+        changes: List[Change] = [BoundChange(op_id, "lstart", value)]
+        if self.estart[op_id] == value:
+            changes.append(CycleFixed(op_id, value))
+        return changes
+
+    def fix_cycle(self, op_id: int, cycle: int) -> List[Change]:
+        changes = self.set_estart(op_id, cycle)
+        changes += self.set_lstart(op_id, cycle)
+        return changes
+
+    def forbid_cycle(self, op_id: int, cycle: int) -> List[Change]:
+        """Exclude *cycle* from the operation's window.
+
+        Only boundary cycles can be excluded exactly (the window is kept as
+        an interval); excluding an interior cycle is a no-op.
+        """
+        if self.is_fixed(op_id) and self.estart[op_id] == cycle:
+            raise Contradiction(f"operation {op_id} is pinned to forbidden cycle {cycle}")
+        if self.estart[op_id] == cycle:
+            return self.set_estart(op_id, cycle + 1)
+        if self.lstart[op_id] == cycle:
+            return self.set_lstart(op_id, cycle - 1)
+        return []
+
+    # ------------------------------------------------------------------ #
+    # combinations
+    # ------------------------------------------------------------------ #
+    def chosen_distance(self, u: int, v: int) -> Optional[int]:
+        """The chosen distance ``cycle(v') - cycle(u')`` for the ordered pair."""
+        key = pair_key(u, v)
+        return self._chosen.get(key)
+
+    def discarded_distances(self, u: int, v: int) -> Set[int]:
+        return set(self._discarded.get(pair_key(u, v), set()))
+
+    def remaining_combinations(self, u: int, v: int) -> List[int]:
+        """Distances still available for the pair (empty when decided)."""
+        key = pair_key(u, v)
+        if key in self._chosen:
+            return []
+        discarded = self._discarded.get(key, set())
+        return [
+            c.distance
+            for c in self.sgraph.combinations(*key)
+            if c.distance not in discarded
+        ]
+
+    def is_pair_decided(self, u: int, v: int) -> bool:
+        key = pair_key(u, v)
+        if key in self._chosen:
+            return True
+        return not self.remaining_combinations(*key)
+
+    def untreated_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs of the scheduling graph not yet decided."""
+        return [pair for pair in self.sgraph.pairs() if not self.is_pair_decided(*pair)]
+
+    def chosen_combinations(self) -> Dict[Tuple[int, int], int]:
+        return dict(self._chosen)
+
+    def choose_combination(self, u: int, v: int, distance: int) -> List[Change]:
+        key = pair_key(u, v)
+        if key != (u, v):
+            distance = -distance
+            u, v = key
+        valid = {c.distance for c in self.sgraph.combinations(u, v)}
+        if distance not in valid:
+            raise Contradiction(
+                f"distance {distance} is not a combination of pair ({u}, {v})"
+            )
+        if distance in self._discarded.get(key, set()):
+            raise Contradiction(
+                f"combination ({u}, {v})={distance} chosen but already discarded"
+            )
+        already = self._chosen.get(key)
+        if already is not None:
+            if already != distance:
+                raise Contradiction(
+                    f"pair ({u}, {v}) already has combination {already}, cannot choose {distance}"
+                )
+            return []
+        self._chosen[key] = distance
+        changes: List[Change] = [CombinationChosen(u, v, distance)]
+        # All other combinations of the pair are implicitly discarded.
+        for other in sorted(valid - {distance}):
+            changes += self._discard(key, other)
+        # The pair now forms (part of) a connected component.
+        try:
+            self.components.link(u, v, distance)
+        except OffsetContradiction as exc:
+            raise Contradiction(str(exc)) from exc
+        return changes
+
+    def _discard(self, key: Tuple[int, int], distance: int) -> List[Change]:
+        bucket = self._discarded.setdefault(key, set())
+        if distance in bucket:
+            return []
+        bucket.add(distance)
+        return [CombinationDiscarded(key[0], key[1], distance)]
+
+    def discard_combination(self, u: int, v: int, distance: int) -> List[Change]:
+        key = pair_key(u, v)
+        if key != (u, v):
+            distance = -distance
+            u, v = key
+        if self._chosen.get(key) == distance:
+            raise Contradiction(
+                f"combination ({u}, {v})={distance} must be discarded but is chosen"
+            )
+        valid = {c.distance for c in self.sgraph.combinations(u, v)}
+        if distance not in valid:
+            return []
+        return self._discard(key, distance)
+
+    # ------------------------------------------------------------------ #
+    # overlap queries
+    # ------------------------------------------------------------------ #
+    def can_overlap(self, u: int, v: int) -> bool:
+        """Whether the current windows still allow the two to overlap."""
+        lat_u, lat_v = self.latency(u), self.latency(v)
+        return (
+            self.estart[u] <= self.lstart[v] + lat_v - 1
+            and self.estart[v] <= self.lstart[u] + lat_u - 1
+        )
+
+    def must_overlap(self, u: int, v: int) -> bool:
+        """Whether every placement within the current windows overlaps."""
+        lat_u, lat_v = self.latency(u), self.latency(v)
+        if self.lstart[u] == INFINITY or self.lstart[v] == INFINITY:
+            return False
+        can_put_v_after_u = self.lstart[v] - self.estart[u] >= lat_u
+        can_put_u_after_v = self.lstart[u] - self.estart[v] >= lat_v
+        return not (can_put_v_after_u or can_put_u_after_v)
+
+    def combination_window(self, u: int, v: int, distance: int) -> Tuple[int, float]:
+        """Cycles at which the pair could be placed at the given distance.
+
+        Returns ``(low, high)`` for the *u* issue cycle; the window is empty
+        when ``low > high``.
+        """
+        key = pair_key(u, v)
+        if key != (u, v):
+            distance = -distance
+        a, b = key
+        low = max(self.estart[a], self.estart[b] - distance)
+        high = min(self.lstart[a], self.lstart[b] - distance)
+        return low, high
+
+    def combination_slack(self, u: int, v: int, distance: int) -> float:
+        low, high = self.combination_window(u, v, distance)
+        return high - low
+
+    def pair_slack(self, u: int, v: int) -> float:
+        """Slack of the tightest remaining combination of the pair."""
+        remaining = self.remaining_combinations(u, v)
+        if not remaining:
+            return INFINITY
+        return min(self.combination_slack(u, v, d) for d in remaining)
+
+    # ------------------------------------------------------------------ #
+    # virtual clusters
+    # ------------------------------------------------------------------ #
+    def fuse_vcs(self, u: int, v: int) -> List[Change]:
+        try:
+            merged = self.vcg.fuse(u, v)
+        except VCContradiction as exc:
+            raise Contradiction(str(exc)) from exc
+        return [VCsFused(u, v)] if merged else []
+
+    def mark_incompatible(self, u: int, v: int) -> List[Change]:
+        try:
+            added = self.vcg.mark_incompatible(u, v)
+        except VCContradiction as exc:
+            raise Contradiction(str(exc)) from exc
+        return [VCsIncompatible(u, v)] if added else []
+
+    def pin_vc(self, op_id: int, physical_cluster: int) -> List[Change]:
+        try:
+            self.vcg.pin(op_id, physical_cluster)
+        except VCContradiction as exc:
+            raise Contradiction(str(exc)) from exc
+        return []
+
+    def same_vc(self, u: int, v: int) -> bool:
+        return self.vcg.same_vc(u, v)
+
+    def outedges(self) -> List[Tuple[int, int, str]]:
+        """Register edges crossing two *different, still compatible* VCs.
+
+        These are the out-edges stage 3 has to eliminate: each must end up
+        either inside one VC (fusion) or across incompatible VCs (with a
+        communication)."""
+        result = []
+        for edge in self.block.graph.register_edges():
+            if self.vcg.same_vc(edge.src, edge.dst):
+                continue
+            if self.vcg.are_incompatible(edge.src, edge.dst):
+                continue
+            result.append((edge.src, edge.dst, edge.value))
+        return result
+
+    def crossing_edges(self) -> List[Tuple[int, int, str]]:
+        """Register edges whose endpoints are in incompatible VCs."""
+        result = []
+        for edge in self.block.graph.register_edges():
+            if self.vcg.are_incompatible(edge.src, edge.dst):
+                result.append((edge.src, edge.dst, edge.value))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # communications
+    # ------------------------------------------------------------------ #
+    @property
+    def bus_latency(self) -> int:
+        return self.machine.bus.latency
+
+    def flc_for_value(self, value: str) -> Optional[Communication]:
+        comm_id = self._value_flc.get(value)
+        if comm_id is None:
+            return None
+        return self.comms.get(comm_id)
+
+    def add_flc(self, producer: int, consumer: int, value: str) -> List[Change]:
+        """Create (or reuse) the fully linked communication for *value*."""
+        existing = self._value_flc.get(value)
+        if existing is not None:
+            comm = self.comms.get(existing)
+            changes: List[Change] = []
+            if comm.consumer != consumer:
+                # The same transferred value serves another consumer: the
+                # consumer simply reads the communicated copy, so only the
+                # timing edge is added.
+                self._comm_edges.append((existing, consumer, self.bus_latency))
+                changes += self.set_estart(
+                    consumer, self.estart[existing] + self.bus_latency
+                )
+            return changes
+
+        comm_id = self._new_comm_id()
+        comm = Communication(comm_id=comm_id, value=value, producer=producer, consumer=consumer)
+        self.comms.add(comm)
+        self._comm_ops[comm_id] = make_copy(comm_id, value, latency=self.bus_latency)
+        self._value_flc[value] = comm_id
+        self._comm_edges.append((producer, comm_id, self.latency(producer)))
+        self._comm_edges.append((comm_id, consumer, self.bus_latency))
+
+        earliest = self.estart[producer] + self.latency(producer)
+        latest = self.lstart[consumer] - self.bus_latency
+        if latest < earliest:
+            raise Contradiction(
+                f"no room for communication of {value!r} between {producer} and {consumer}"
+            )
+        self.estart[comm_id] = earliest
+        self.lstart[comm_id] = latest
+        changes = [CommCreated(comm_id)]
+        if earliest == latest:
+            changes.append(CycleFixed(comm_id, earliest))
+        return changes
+
+    def add_plc(
+        self,
+        alternatives: Sequence[Tuple[int, int]],
+        value: Optional[str] = None,
+        producer: Optional[int] = None,
+        consumer: Optional[int] = None,
+    ) -> List[Change]:
+        """Create a partially linked communication covering *alternatives*."""
+        alternatives = tuple(sorted(set(alternatives)))
+        if not alternatives:
+            raise ValueError("a PLC needs at least one producer/consumer alternative")
+        # Avoid duplicates: an equivalent partial communication already queued.
+        for comm in self.comms.partially_linked():
+            if set(comm.alternatives) == set(alternatives):
+                return []
+        comm_id = self._new_comm_id()
+        comm = Communication(
+            comm_id=comm_id,
+            value=value,
+            producer=producer,
+            consumer=consumer,
+            alternatives=alternatives,
+        )
+        self.comms.add(comm)
+        self._comm_ops[comm_id] = make_copy(comm_id, value or f"plc{comm_id}", latency=self.bus_latency)
+
+        earliest = min(
+            self.estart[p] + self.latency(p) for p in comm.possible_producers()
+        )
+        latest = max(
+            self.lstart[c] - self.bus_latency for c in comm.possible_consumers()
+        )
+        if latest < earliest:
+            raise Contradiction(
+                f"no room for partially linked communication over {alternatives}"
+            )
+        self.estart[comm_id] = earliest
+        self.lstart[comm_id] = latest
+        changes = [CommCreated(comm_id)]
+        if earliest == latest:
+            changes.append(CycleFixed(comm_id, earliest))
+        return changes
+
+    def resolve_plc(self, comm_id: int, producer: int, consumer: int, value: str) -> List[Change]:
+        """Promote a partially linked communication to a fully linked one."""
+        comm = self.comms.get(comm_id)
+        if comm.is_fully_linked:
+            return []
+        existing = self._value_flc.get(value)
+        if existing is not None and existing != comm_id:
+            # The value already has its communication; this PLC is redundant.
+            self._drop_comm(comm_id)
+            return [CommResolved(comm_id)]
+        resolved = comm.resolved(producer, consumer, value)
+        self.comms.replace(resolved)
+        self._value_flc[value] = comm_id
+        self._comm_edges.append((producer, comm_id, self.latency(producer)))
+        self._comm_edges.append((comm_id, consumer, self.bus_latency))
+        changes: List[Change] = [CommResolved(comm_id)]
+        changes += self.set_estart(comm_id, self.estart[producer] + self.latency(producer))
+        changes += self.set_lstart(comm_id, int(self.lstart[consumer]) - self.bus_latency
+                                   if self.lstart[consumer] != INFINITY else self.lstart[comm_id])
+        return changes
+
+    def remove_plc_alternative(self, comm_id: int, pair: Tuple[int, int]) -> List[Change]:
+        """Drop one producer/consumer alternative from a partially linked
+        communication; when a single alternative remains the communication
+        is promoted to a fully linked one, and when none remains it is
+        dropped as unnecessary."""
+        comm = self.comms.get(comm_id)
+        if comm.is_fully_linked or pair not in comm.alternatives:
+            return []
+        remaining = tuple(a for a in comm.alternatives if a != pair)
+        if not remaining:
+            self._drop_comm(comm_id)
+            return [CommResolved(comm_id)]
+        if len(remaining) == 1:
+            producer, consumer = remaining[0]
+            edge = self.block.graph.edge(producer, consumer)
+            value = edge.value if edge is not None and edge.value else f"plc{comm_id}"
+            return self.resolve_plc(comm_id, producer, consumer, value)
+        from dataclasses import replace as _replace
+
+        self.comms.replace(_replace(comm, alternatives=remaining))
+        return []
+
+    def drop_unresolved_plcs(self) -> List[int]:
+        """Remove partially linked communications that never became real.
+
+        Called at the very end of scheduling: PLCs are insurance for copies
+        that might be needed; once every virtual-cluster relation is decided
+        the ones still unresolved are unnecessary by construction."""
+        dropped = []
+        for comm in list(self.comms.partially_linked()):
+            self._drop_comm(comm.comm_id)
+            dropped.append(comm.comm_id)
+        return dropped
+
+    def _drop_comm(self, comm_id: int) -> None:
+        """Remove a redundant partially linked communication."""
+        self._comm_ops.pop(comm_id, None)
+        self.estart.pop(comm_id, None)
+        self.lstart.pop(comm_id, None)
+        self._comm_edges = [
+            (s, d, l) for (s, d, l) in self._comm_edges if s != comm_id and d != comm_id
+        ]
+        remaining = CommunicationSet()
+        for comm in self.comms:
+            if comm.comm_id != comm_id:
+                remaining.add(comm)
+        self.comms = remaining
+
+    def _new_comm_id(self) -> int:
+        comm_id = self._next_comm_id
+        self._next_comm_id += 1
+        return comm_id
+
+    # ------------------------------------------------------------------ #
+    # exit deadlines
+    # ------------------------------------------------------------------ #
+    def set_exit_deadlines(self, deadlines: Dict[int, int]) -> List[Change]:
+        changes: List[Change] = []
+        self.exit_deadlines.update(deadlines)
+        for op_id, cycle in deadlines.items():
+            changes += self.set_lstart(op_id, cycle)
+        # Operations with no dependence path to any exit must still issue no
+        # later than the block's final exit.  Only applied once every exit
+        # has a deadline: partial deadline sets are used by the minAWCT
+        # tightening probes and must not constrain unrelated operations.
+        all_exits_bounded = all(
+            e in self.exit_deadlines for e in self.block.exit_ids
+        )
+        if all_exits_bounded and self.exit_deadlines:
+            last_deadline = max(self.exit_deadlines.values())
+            for op_id in self.original_ids:
+                if self.lstart[op_id] == INFINITY:
+                    changes += self.set_lstart(op_id, last_deadline)
+        return changes
+
+    # ------------------------------------------------------------------ #
+    # summary metrics used by the decision heuristics
+    # ------------------------------------------------------------------ #
+    def n_communications(self) -> int:
+        return len(self.comms)
+
+    def compactness(self) -> float:
+        """Sum of estarts: smaller means the code is packed earlier."""
+        return float(sum(self.estart[i] for i in self.original_ids))
+
+    def outedge_vc_ratio(self) -> float:
+        n_vcs = self.vcg.n_vcs
+        if n_vcs == 0:
+            return 0.0
+        return len(self.outedges()) / n_vcs
+
+    def total_slack(self) -> float:
+        finite = [
+            self.lstart[i] - self.estart[i]
+            for i in self.all_ids
+            if self.lstart[i] != INFINITY
+        ]
+        return float(sum(finite))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fixed = sum(1 for i in self.all_ids if self.is_fixed(i))
+        return (
+            f"SchedulingState({self.block.name}: {fixed}/{len(self.all_ids)} fixed, "
+            f"{len(self._chosen)} chosen combs, {self.vcg.n_vcs} VCs, "
+            f"{len(self.comms)} comms)"
+        )

@@ -1,0 +1,41 @@
+"""Intermediate representation for superblock scheduling.
+
+This subpackage provides the data structures the scheduler consumes:
+
+* :class:`~repro.ir.operation.Operation` — a single VLIW operation with an
+  operation class, a latency, and the virtual registers it defines and uses.
+* :class:`~repro.ir.depgraph.DependenceGraph` — the data/control dependence
+  graph over the operations of one superblock.
+* :class:`~repro.ir.superblock.Superblock` — a single-entry, multi-exit code
+  region with exit probabilities and an execution count.
+* :class:`~repro.ir.builder.SuperblockBuilder` — a fluent helper that builds
+  superblocks and derives the dependence edges automatically.
+"""
+
+from repro.ir.operation import (
+    OpClass,
+    Operation,
+    DEFAULT_LATENCIES,
+    default_latency,
+)
+from repro.ir.values import ValueNamer
+from repro.ir.depgraph import DepKind, DepEdge, DependenceGraph
+from repro.ir.superblock import Superblock, ExitInfo
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.validate import ValidationError, validate_superblock
+
+__all__ = [
+    "OpClass",
+    "Operation",
+    "DEFAULT_LATENCIES",
+    "default_latency",
+    "ValueNamer",
+    "DepKind",
+    "DepEdge",
+    "DependenceGraph",
+    "Superblock",
+    "ExitInfo",
+    "SuperblockBuilder",
+    "ValidationError",
+    "validate_superblock",
+]

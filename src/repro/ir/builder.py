@@ -1,0 +1,237 @@
+"""Fluent construction of superblocks.
+
+The builder keeps the program order in which operations are emitted, derives
+data dependence edges from def-use chains, memory-order edges between stores
+and the loads/stores that follow them, and control edges that keep exits in
+order and pin non-speculative operations below the most recent exit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.depgraph import DepKind, DependenceGraph
+from repro.ir.operation import OpClass, Operation, default_latency
+from repro.ir.superblock import Superblock
+from repro.ir.values import ValueNamer
+
+
+class SuperblockBuilder:
+    """Build a :class:`~repro.ir.superblock.Superblock` incrementally.
+
+    Example
+    -------
+    >>> b = SuperblockBuilder("demo")
+    >>> x = b.add_op("load", OpClass.MEM, dests=["x"])
+    >>> y = b.add_op("add", OpClass.INT, dests=["y"], srcs=["x"])
+    >>> _ = b.add_exit(probability=0.3, srcs=["y"])
+    >>> z = b.add_op("mul", OpClass.INT, dests=["z"], srcs=["y"])
+    >>> _ = b.add_exit(probability=0.7, srcs=["z"])
+    >>> sb = b.build(execution_count=100)
+    >>> sb.size
+    5
+    """
+
+    def __init__(self, name: str, namer: Optional[ValueNamer] = None) -> None:
+        self.name = name
+        self._graph = DependenceGraph()
+        self._namer = namer or ValueNamer()
+        self._next_id = 0
+        self._defs: Dict[str, int] = {}
+        self._uses: Dict[str, List[int]] = {}
+        self._last_exit: Optional[int] = None
+        self._last_store: Optional[int] = None
+        self._loads_since_store: List[int] = []
+        self._exit_order: List[int] = []
+        self._live_ins: List[str] = []
+        self._live_outs: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # operation emission
+    # ------------------------------------------------------------------ #
+    def add_op(
+        self,
+        opcode: str,
+        op_class: OpClass,
+        dests: Sequence[str] = (),
+        srcs: Sequence[str] = (),
+        latency: Optional[int] = None,
+        speculative: bool = True,
+        comment: str = "",
+    ) -> int:
+        """Emit a non-exit operation and return its id."""
+        if op_class is OpClass.BRANCH:
+            raise ValueError("use add_exit() for branches")
+        return self._emit(
+            opcode,
+            op_class,
+            tuple(dests),
+            tuple(srcs),
+            latency,
+            is_exit=False,
+            exit_prob=0.0,
+            speculative=speculative,
+            comment=comment,
+        )
+
+    def add_exit(
+        self,
+        probability: float,
+        srcs: Sequence[str] = (),
+        opcode: str = "br",
+        latency: Optional[int] = None,
+        comment: str = "",
+    ) -> int:
+        """Emit an exit branch with the given taken probability."""
+        return self._emit(
+            opcode,
+            OpClass.BRANCH,
+            (),
+            tuple(srcs),
+            latency,
+            is_exit=True,
+            exit_prob=probability,
+            speculative=False,
+            comment=comment,
+        )
+
+    def _emit(
+        self,
+        opcode: str,
+        op_class: OpClass,
+        dests: Tuple[str, ...],
+        srcs: Tuple[str, ...],
+        latency: Optional[int],
+        is_exit: bool,
+        exit_prob: float,
+        speculative: bool,
+        comment: str,
+    ) -> int:
+        op_id = self._next_id
+        self._next_id += 1
+        op = Operation(
+            op_id=op_id,
+            opcode=opcode,
+            op_class=op_class,
+            latency=latency if latency is not None else default_latency(op_class),
+            dests=dests,
+            srcs=srcs,
+            is_exit=is_exit,
+            exit_prob=exit_prob,
+            speculative=speculative,
+            comment=comment,
+        )
+        self._graph.add_operation(op)
+        self._wire_dependences(op)
+        self._record_definitions(op)
+        if is_exit:
+            self._exit_order.append(op_id)
+            self._last_exit = op_id
+        return op_id
+
+    # ------------------------------------------------------------------ #
+    # dependence derivation
+    # ------------------------------------------------------------------ #
+    def _wire_dependences(self, op: Operation) -> None:
+        # Flow (true) dependences: use of a previously defined value.
+        for value in op.srcs:
+            producer = self._defs.get(value)
+            if producer is not None:
+                self._graph.add_edge(producer, op.op_id, DepKind.DATA, value=value)
+            else:
+                if value not in self._live_ins:
+                    self._live_ins.append(value)
+            self._uses.setdefault(value, []).append(op.op_id)
+
+        # Anti dependences: redefinition of a value previously used or defined.
+        for value in op.dests:
+            for user in self._uses.get(value, ()):
+                if user != op.op_id:
+                    self._graph.add_edge(user, op.op_id, DepKind.ANTI, latency=0)
+            prior_def = self._defs.get(value)
+            if prior_def is not None and prior_def != op.op_id:
+                self._graph.add_edge(prior_def, op.op_id, DepKind.ANTI, latency=1)
+
+        # Memory ordering: loads and stores stay ordered with respect to
+        # the most recent store (conservative, no alias analysis).
+        if op.op_class is OpClass.MEM:
+            is_store = not op.dests
+            if is_store:
+                if self._last_store is not None:
+                    self._graph.add_edge(self._last_store, op.op_id, DepKind.MEMORY, latency=1)
+                for load in self._loads_since_store:
+                    self._graph.add_edge(load, op.op_id, DepKind.MEMORY, latency=0)
+                self._last_store = op.op_id
+                self._loads_since_store = []
+            else:
+                if self._last_store is not None:
+                    self._graph.add_edge(self._last_store, op.op_id, DepKind.MEMORY, latency=1)
+                self._loads_since_store.append(op.op_id)
+
+        # Control dependences: exits stay in program order; non-speculative
+        # operations cannot be hoisted above the preceding exit; stores are
+        # never speculative.
+        if self._last_exit is not None and self._last_exit != op.op_id:
+            must_stay_below = (
+                op.is_exit
+                or not op.speculative
+                or (op.op_class is OpClass.MEM and not op.dests)
+            )
+            if must_stay_below:
+                self._graph.add_edge(self._last_exit, op.op_id, DepKind.CONTROL, latency=0)
+
+    def _record_definitions(self, op: Operation) -> None:
+        for value in op.dests:
+            self._defs[value] = op.op_id
+
+    # ------------------------------------------------------------------ #
+    # miscellaneous builder state
+    # ------------------------------------------------------------------ #
+    def fresh_value(self, prefix: Optional[str] = None) -> str:
+        """Return a fresh virtual register name."""
+        return self._namer.fresh(prefix)
+
+    def mark_live_out(self, *values: str) -> None:
+        for value in values:
+            if value not in self._live_outs:
+                self._live_outs.append(value)
+
+    @property
+    def graph(self) -> DependenceGraph:
+        return self._graph
+
+    @property
+    def exit_ids(self) -> List[int]:
+        return list(self._exit_order)
+
+    # ------------------------------------------------------------------ #
+    # finalisation
+    # ------------------------------------------------------------------ #
+    def build(self, execution_count: int = 1, final_exit_probability: Optional[float] = None) -> Superblock:
+        """Finalise the superblock.
+
+        If the emitted exits' probabilities do not sum to one, a final
+        fall-through jump is appended with the remaining probability (or
+        *final_exit_probability* when given).  The block ends at that final
+        exit: every operation receives a zero-latency order edge to it, so no
+        operation can be scheduled below the jump that leaves the block.
+        """
+        total = sum(self._graph.op(e).exit_prob for e in self._exit_order)
+        remaining = 1.0 - total
+        if final_exit_probability is not None:
+            remaining = final_exit_probability
+        if remaining > 1e-9 or not self._exit_order:
+            self.add_exit(probability=max(remaining, 0.0), opcode="jump", comment="fall-through")
+        final_exit = self._exit_order[-1]
+        for op_id in self._graph.op_ids:
+            if op_id == final_exit:
+                continue
+            if not self._graph.must_precede(op_id, final_exit):
+                self._graph.add_edge(op_id, final_exit, DepKind.CONTROL, latency=0)
+        return Superblock(
+            name=self.name,
+            graph=self._graph,
+            execution_count=execution_count,
+            live_ins=tuple(self._live_ins),
+            live_outs=tuple(self._live_outs),
+        )

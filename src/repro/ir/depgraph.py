@@ -1,0 +1,260 @@
+"""Dependence graph over the operations of a superblock.
+
+The dependence graph (DG in the paper) is a DAG whose nodes are operation ids
+and whose edges carry a *kind* (data, control, memory-order, anti) and a
+*latency* — the minimum number of cycles that must separate the issue of the
+source from the issue of the destination.  For a data edge the latency is the
+producer's latency; control edges have latency zero (an operation may issue in
+the same cycle as the branch it is control dependent on, as in the paper's
+running example where I4 and B0 share estart 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.ir.operation import Operation
+
+
+class DepKind(enum.Enum):
+    """Kind of a dependence edge."""
+
+    DATA = "data"
+    CONTROL = "control"
+    MEMORY = "memory"
+    ANTI = "anti"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependence edge of the graph."""
+
+    src: int
+    dst: int
+    kind: DepKind
+    latency: int
+    value: Optional[str] = None
+
+    @property
+    def is_register_edge(self) -> bool:
+        """True when the edge carries a register value across clusters."""
+        return self.kind is DepKind.DATA and self.value is not None
+
+
+class DependenceGraph:
+    """A directed acyclic dependence graph for one superblock.
+
+    The graph owns the operations: they are added with :meth:`add_operation`
+    and edges reference them by id.  The class exposes the queries the
+    scheduler needs: predecessors/successors with latencies, reachability
+    (``must_precede``), topological order, and per-value producer/consumer
+    lookups.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._ops: Dict[int, Operation] = {}
+        self._reach_cache: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_operation(self, op: Operation) -> None:
+        """Add *op* to the graph; its id must not already be present."""
+        if op.op_id in self._ops:
+            raise ValueError(f"duplicate operation id {op.op_id}")
+        self._ops[op.op_id] = op
+        self._graph.add_node(op.op_id)
+        self._reach_cache = None
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        kind: DepKind = DepKind.DATA,
+        latency: Optional[int] = None,
+        value: Optional[str] = None,
+    ) -> DepEdge:
+        """Add a dependence edge from *src* to *dst*.
+
+        When *latency* is omitted it defaults to the source operation's
+        latency for data/memory edges and zero for control/anti edges.  When
+        an edge between the pair already exists the stricter (larger) latency
+        is kept and the value annotation is preserved.
+        """
+        if src not in self._ops or dst not in self._ops:
+            raise KeyError(f"edge ({src}, {dst}) references unknown operation")
+        if src == dst:
+            raise ValueError(f"self dependence on operation {src}")
+        if latency is None:
+            if kind in (DepKind.DATA, DepKind.MEMORY):
+                latency = self._ops[src].latency
+            else:
+                latency = 0
+        if latency < 0:
+            raise ValueError("dependence latency must be non-negative")
+
+        if self._graph.has_edge(src, dst):
+            data = self._graph.edges[src, dst]
+            data["latency"] = max(data["latency"], latency)
+            if value is not None and data.get("value") is None:
+                data["value"] = value
+            if kind is DepKind.DATA:
+                data["kind"] = DepKind.DATA
+        else:
+            self._graph.add_edge(src, dst, kind=kind, latency=latency, value=value)
+        self._reach_cache = None
+        return DepEdge(src, dst, kind, latency, value)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def operations(self) -> List[Operation]:
+        """All operations, sorted by id."""
+        return [self._ops[i] for i in sorted(self._ops)]
+
+    @property
+    def op_ids(self) -> List[int]:
+        return sorted(self._ops)
+
+    def op(self, op_id: int) -> Operation:
+        return self._ops[op_id]
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def edges(self) -> Iterator[DepEdge]:
+        """Iterate over all dependence edges."""
+        for src, dst, data in self._graph.edges(data=True):
+            yield DepEdge(src, dst, data["kind"], data["latency"], data.get("value"))
+
+    def edge(self, src: int, dst: int) -> Optional[DepEdge]:
+        """Return the edge from *src* to *dst*, or None."""
+        if not self._graph.has_edge(src, dst):
+            return None
+        data = self._graph.edges[src, dst]
+        return DepEdge(src, dst, data["kind"], data["latency"], data.get("value"))
+
+    def predecessors(self, op_id: int) -> List[DepEdge]:
+        """Incoming edges of *op_id*."""
+        result = []
+        for src in self._graph.predecessors(op_id):
+            data = self._graph.edges[src, op_id]
+            result.append(DepEdge(src, op_id, data["kind"], data["latency"], data.get("value")))
+        return result
+
+    def successors(self, op_id: int) -> List[DepEdge]:
+        """Outgoing edges of *op_id*."""
+        result = []
+        for dst in self._graph.successors(op_id):
+            data = self._graph.edges[op_id, dst]
+            result.append(DepEdge(op_id, dst, data["kind"], data["latency"], data.get("value")))
+        return result
+
+    def register_edges(self) -> List[DepEdge]:
+        """All data edges that carry a named register value."""
+        return [e for e in self.edges() if e.is_register_edge]
+
+    # ------------------------------------------------------------------ #
+    # structural queries
+    # ------------------------------------------------------------------ #
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def topological_order(self) -> List[int]:
+        """Operation ids in a deterministic topological order."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def _reachability(self) -> Dict[int, Set[int]]:
+        if self._reach_cache is None:
+            cache: Dict[int, Set[int]] = {}
+            for node in reversed(list(nx.topological_sort(self._graph))):
+                reach: Set[int] = set()
+                for succ in self._graph.successors(node):
+                    reach.add(succ)
+                    reach |= cache[succ]
+                cache[node] = reach
+            self._reach_cache = cache
+        return self._reach_cache
+
+    def must_precede(self, u: int, v: int) -> bool:
+        """True when a (possibly indirect) dependence forces *u* before *v*."""
+        return v in self._reachability()[u]
+
+    def are_ordered(self, u: int, v: int) -> bool:
+        """True when the DG orders *u* and *v* in either direction."""
+        return self.must_precede(u, v) or self.must_precede(v, u)
+
+    def min_distance(self, u: int, v: int) -> Optional[int]:
+        """Longest-path distance (in cycles) from *u* to *v*, or None.
+
+        This is the minimum number of cycles the schedule must place between
+        the issue of *u* and the issue of *v* when *u* must precede *v*.
+        """
+        if not self.must_precede(u, v):
+            return None
+        dist: Dict[int, int] = {u: 0}
+        for node in nx.topological_sort(self._graph):
+            if node not in dist:
+                continue
+            for succ in self._graph.successors(node):
+                cand = dist[node] + self._graph.edges[node, succ]["latency"]
+                if cand > dist.get(succ, -1):
+                    dist[succ] = cand
+        return dist.get(v)
+
+    # ------------------------------------------------------------------ #
+    # per-value queries
+    # ------------------------------------------------------------------ #
+    def producer_of(self, value: str) -> Optional[int]:
+        """Operation id that defines *value*, if any operation in the DG does."""
+        for op in self._ops.values():
+            if value in op.dests:
+                return op.op_id
+        return None
+
+    def consumers_of(self, value: str) -> List[int]:
+        """Operation ids that use *value* through a data edge."""
+        producer = self.producer_of(value)
+        if producer is None:
+            return sorted(
+                op.op_id for op in self._ops.values() if value in op.srcs
+            )
+        return sorted(
+            e.dst for e in self.successors(producer) if e.value == value
+        )
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DependenceGraph":
+        """Deep-enough copy: operations are immutable, edges are re-added."""
+        clone = DependenceGraph()
+        for op in self.operations:
+            clone.add_operation(op)
+        for e in self.edges():
+            clone.add_edge(e.src, e.dst, e.kind, e.latency, e.value)
+        return clone
+
+    def as_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"DependenceGraph({len(self)} ops, {self._graph.number_of_edges()} edges)"]
+        for op in self.operations:
+            lines.append(f"  {op}")
+        for e in self.edges():
+            lines.append(f"  {e.src} -> {e.dst} [{e.kind}, lat={e.latency}]")
+        return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Superblocks: single-entry, multi-exit scheduling regions.
+
+A superblock (Hwu et al.) is a sequence of basic blocks with a single entry
+point and one or more exits.  For scheduling purposes it is fully described
+by its dependence graph, the set of exit operations with their probabilities,
+and the number of times the block is entered (its execution count), which the
+evaluation uses to weight the block's AWCT into a total cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import OpClass, Operation
+
+
+@dataclass(frozen=True)
+class ExitInfo:
+    """One exit of a superblock."""
+
+    op_id: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError(f"exit probability {self.probability} outside [0, 1]")
+
+
+@dataclass
+class Superblock:
+    """A superblock ready to be scheduled.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"099.go/sb_0042"``).
+    graph:
+        The dependence graph over the block's operations.
+    execution_count:
+        Number of times the superblock is entered in the profiled run
+        (``T(S)`` in the paper); used to compute the block's contribution
+        ``TC(S) = AWCT(S) * T(S)`` to total cycles.
+    live_ins / live_outs:
+        Virtual registers live on entry / on some exit.  The evaluation
+        assigns these to clusters up-front (randomly but identically for
+        every scheduler) as the paper does for fairness.
+    """
+
+    name: str
+    graph: DependenceGraph
+    execution_count: int = 1
+    live_ins: Tuple[str, ...] = ()
+    live_outs: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # operations and exits
+    # ------------------------------------------------------------------ #
+    @property
+    def operations(self) -> List[Operation]:
+        return self.graph.operations
+
+    @property
+    def op_ids(self) -> List[int]:
+        return self.graph.op_ids
+
+    def op(self, op_id: int) -> Operation:
+        return self.graph.op(op_id)
+
+    @property
+    def exits(self) -> List[ExitInfo]:
+        """Exit operations in id order."""
+        return [
+            ExitInfo(op.op_id, op.exit_prob)
+            for op in self.operations
+            if op.is_exit
+        ]
+
+    @property
+    def exit_ids(self) -> List[int]:
+        return [e.op_id for e in self.exits]
+
+    def exit_probability(self, op_id: int) -> float:
+        op = self.graph.op(op_id)
+        if not op.is_exit:
+            raise ValueError(f"operation {op_id} is not an exit")
+        return op.exit_prob
+
+    @property
+    def total_exit_probability(self) -> float:
+        return sum(e.probability for e in self.exits)
+
+    @property
+    def size(self) -> int:
+        """Number of operations in the block."""
+        return len(self.graph)
+
+    # ------------------------------------------------------------------ #
+    # classification helpers used by the workload statistics
+    # ------------------------------------------------------------------ #
+    def count_by_class(self) -> Dict[OpClass, int]:
+        counts: Dict[OpClass, int] = {}
+        for op in self.operations:
+            counts[op.op_class] = counts.get(op.op_class, 0) + 1
+        return counts
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for op in self.operations if op.is_branch)
+
+    def critical_path_length(self) -> int:
+        """Length (in cycles) of the longest dependence chain to any exit,
+        including the exit's own latency.  A dependence-only lower bound on
+        the completion time of the last exit."""
+        longest = 0
+        for exit_info in self.exits:
+            for op_id in self.op_ids:
+                if op_id == exit_info.op_id:
+                    dist = 0
+                else:
+                    d = self.graph.min_distance(op_id, exit_info.op_id)
+                    if d is None:
+                        continue
+                    dist = d
+                total = dist + self.op(exit_info.op_id).latency
+                longest = max(longest, total)
+        return longest
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Superblock":
+        return Superblock(
+            name=self.name,
+            graph=self.graph.copy(),
+            execution_count=self.execution_count,
+            live_ins=self.live_ins,
+            live_outs=self.live_outs,
+        )
+
+    def with_exit_probabilities(self, probabilities: Dict[int, float]) -> "Superblock":
+        """Return a copy of the block with some exit probabilities replaced.
+
+        Used by the cross-input experiment (Figure 12), where the profile
+        used for scheduling differs from the one used for evaluation.
+        """
+        clone = DependenceGraph()
+        for op in self.operations:
+            if op.op_id in probabilities:
+                if not op.is_exit:
+                    raise ValueError(f"operation {op.op_id} is not an exit")
+                op = Operation(
+                    op_id=op.op_id,
+                    opcode=op.opcode,
+                    op_class=op.op_class,
+                    latency=op.latency,
+                    dests=op.dests,
+                    srcs=op.srcs,
+                    is_exit=True,
+                    exit_prob=probabilities[op.op_id],
+                    speculative=op.speculative,
+                    comment=op.comment,
+                )
+            clone.add_operation(op)
+        for e in self.graph.edges():
+            clone.add_edge(e.src, e.dst, e.kind, e.latency, e.value)
+        return Superblock(
+            name=self.name,
+            graph=clone,
+            execution_count=self.execution_count,
+            live_ins=self.live_ins,
+            live_outs=self.live_outs,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Superblock({self.name}, {self.size} ops, "
+            f"{len(self.exits)} exits, T={self.execution_count})"
+        )

@@ -1,0 +1,82 @@
+"""Structural validation of superblocks.
+
+The scheduler assumes a number of well-formedness properties (acyclic DG,
+exits present, probabilities in range, edges consistent with latencies);
+:func:`validate_superblock` checks them and raises :class:`ValidationError`
+with an explanatory message when a property is violated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.depgraph import DepKind
+from repro.ir.operation import OpClass
+from repro.ir.superblock import Superblock
+
+
+class ValidationError(Exception):
+    """A superblock violates a structural invariant."""
+
+
+def validate_superblock(block: Superblock, tolerance: float = 1e-6) -> None:
+    """Raise :class:`ValidationError` if *block* is not well formed.
+
+    Checks performed:
+
+    * the dependence graph is acyclic;
+    * there is at least one exit and exit probabilities sum to ~1;
+    * every exit is a branch operation and branches are totally ordered by
+      dependences (exits cannot be reordered);
+    * data edges have latency at least 1 and reference values actually
+      defined by their source;
+    * the execution count is positive.
+    """
+    errors: List[str] = []
+
+    if len(block.graph) == 0:
+        raise ValidationError(f"{block.name}: superblock has no operations")
+
+    if not block.graph.is_acyclic():
+        errors.append("dependence graph contains a cycle")
+
+    exits = block.exits
+    if not exits:
+        errors.append("superblock has no exit")
+    else:
+        total = sum(e.probability for e in exits)
+        if abs(total - 1.0) > tolerance:
+            errors.append(f"exit probabilities sum to {total:.6f}, expected 1.0")
+        for e in exits:
+            if not block.op(e.op_id).is_branch:
+                errors.append(f"exit {e.op_id} is not a branch")
+
+    if block.graph.is_acyclic():
+        exit_ids = [e.op_id for e in exits]
+        for i, first in enumerate(exit_ids):
+            for second in exit_ids[i + 1:]:
+                if not block.graph.are_ordered(first, second):
+                    errors.append(
+                        f"exits {first} and {second} are not ordered by dependences"
+                    )
+
+    for edge in block.graph.edges():
+        src_op = block.op(edge.src)
+        if edge.kind is DepKind.DATA:
+            if edge.latency < 1:
+                errors.append(f"data edge ({edge.src}, {edge.dst}) has latency {edge.latency}")
+            if edge.value is not None and edge.value not in src_op.dests:
+                errors.append(
+                    f"data edge ({edge.src}, {edge.dst}) carries {edge.value!r} "
+                    f"which {edge.src} does not define"
+                )
+
+    if block.execution_count < 0:
+        errors.append(f"execution count {block.execution_count} is negative")
+
+    for op in block.operations:
+        if op.op_class is OpClass.COPY:
+            errors.append(f"operation {op.op_id} is a copy; copies are scheduler-inserted")
+
+    if errors:
+        raise ValidationError(f"{block.name}: " + "; ".join(errors))

@@ -1,0 +1,49 @@
+"""Virtual register names.
+
+Values in the IR are plain strings; this module only provides a tiny helper
+that hands out fresh, readable names (``v0``, ``v1``, ...) and records which
+names it has produced so builders can detect accidental reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+
+class ValueNamer:
+    """Produce fresh virtual register names.
+
+    >>> namer = ValueNamer()
+    >>> namer.fresh()
+    'v0'
+    >>> namer.fresh("addr")
+    'addr1'
+    """
+
+    def __init__(self, prefix: str = "v") -> None:
+        self._prefix = prefix
+        self._counter = 0
+        self._issued: Set[str] = set()
+
+    def fresh(self, prefix: str | None = None) -> str:
+        """Return a new, never-before-issued value name."""
+        name = f"{prefix or self._prefix}{self._counter}"
+        self._counter += 1
+        self._issued.add(name)
+        return name
+
+    def fresh_many(self, count: int) -> Iterator[str]:
+        """Yield *count* fresh names."""
+        for _ in range(count):
+            yield self.fresh()
+
+    @property
+    def issued(self) -> Set[str]:
+        """All names issued so far (a copy)."""
+        return set(self._issued)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._issued
+
+    def __len__(self) -> int:
+        return len(self._issued)

@@ -1,0 +1,37 @@
+"""Clustered VLIW machine model.
+
+The model follows Section 2.1 of the paper: a statically scheduled machine
+partitioned into homogeneous clusters, each with its own register file and
+functional units; clusters exchange register values through explicit copy
+operations over a small number of shared buses; the memory hierarchy is
+centralised.
+"""
+
+from repro.machine.resources import FuKind, fu_kind_for
+from repro.machine.cluster import ClusterConfig
+from repro.machine.interconnect import BusConfig
+from repro.machine.machine import ClusteredMachine
+from repro.machine.presets import (
+    paper_2c_8i_1lat,
+    paper_4c_16i_1lat,
+    paper_4c_16i_2lat,
+    paper_configurations,
+    example_2cluster,
+    example_1cluster_fig4,
+    unified,
+)
+
+__all__ = [
+    "FuKind",
+    "fu_kind_for",
+    "ClusterConfig",
+    "BusConfig",
+    "ClusteredMachine",
+    "paper_2c_8i_1lat",
+    "paper_4c_16i_1lat",
+    "paper_4c_16i_2lat",
+    "paper_configurations",
+    "example_2cluster",
+    "example_1cluster_fig4",
+    "unified",
+]

@@ -1,0 +1,60 @@
+"""Per-cluster resource description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.machine.resources import FuKind
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Resources of one cluster.
+
+    Parameters
+    ----------
+    fu_counts:
+        Number of functional units of each kind.  Kinds missing from the
+        mapping are absent from the cluster (their count is zero).
+    issue_width:
+        Maximum number of operations the cluster can issue per cycle.  When
+        omitted it defaults to the total number of functional units.
+    """
+
+    fu_counts: Mapping[FuKind, int]
+    issue_width: int = 0
+
+    def __post_init__(self) -> None:
+        counts = dict(self.fu_counts)
+        for kind, count in counts.items():
+            if count < 0:
+                raise ValueError(f"negative functional unit count for {kind}")
+        object.__setattr__(self, "fu_counts", counts)
+        if self.issue_width <= 0:
+            object.__setattr__(self, "issue_width", sum(counts.values()))
+        if self.issue_width <= 0:
+            raise ValueError("cluster has no issue capacity")
+
+    def fu_count(self, kind: FuKind) -> int:
+        """Number of functional units of *kind* in this cluster."""
+        return self.fu_counts.get(kind, 0)
+
+    @property
+    def total_fus(self) -> int:
+        return sum(self.fu_counts.values())
+
+    def supports(self, kind: FuKind) -> bool:
+        return self.fu_count(kind) > 0
+
+    @staticmethod
+    def uniform(count_per_kind: int = 1, issue_width: int = 0) -> "ClusterConfig":
+        """A cluster with *count_per_kind* units of every kind."""
+        return ClusterConfig(
+            fu_counts={kind: count_per_kind for kind in FuKind},
+            issue_width=issue_width,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k.value}={v}" for k, v in sorted(self.fu_counts.items(), key=lambda kv: kv[0].value))
+        return f"Cluster(issue={self.issue_width}, {parts})"

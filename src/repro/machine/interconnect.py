@@ -1,0 +1,44 @@
+"""Inter-cluster interconnect (register buses)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A set of identical buses used by inter-cluster copy operations.
+
+    Parameters
+    ----------
+    count:
+        Number of buses; at most this many copies can *start* (pipelined) or
+        be *in flight* (non-pipelined) per cycle.
+    latency:
+        Cycles between issuing the copy and the value being available in the
+        destination register file.
+    pipelined:
+        Whether a new transfer may start on a bus every cycle.  The paper's
+        4-cluster / 2-cycle configuration explicitly uses a non-pipelined
+        bus ("the bus is not a pipelined resource"), so a 2-cycle copy holds
+        the bus for both cycles.
+    """
+
+    count: int = 1
+    latency: int = 1
+    pipelined: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("bus count must be non-negative")
+        if self.latency < 1:
+            raise ValueError("bus latency must be at least one cycle")
+
+    @property
+    def occupancy(self) -> int:
+        """Number of cycles one transfer keeps a bus busy."""
+        return 1 if self.pipelined else self.latency
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pipe = "pipelined" if self.pipelined else "non-pipelined"
+        return f"Bus(count={self.count}, latency={self.latency}, {pipe})"

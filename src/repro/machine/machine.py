@@ -1,0 +1,136 @@
+"""The clustered VLIW machine description used by all schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.operation import OpClass, Operation
+from repro.machine.cluster import ClusterConfig
+from repro.machine.interconnect import BusConfig
+from repro.machine.resources import FuKind, fu_kind_for
+
+
+@dataclass(frozen=True)
+class ClusteredMachine:
+    """A statically scheduled clustered VLIW machine.
+
+    Parameters
+    ----------
+    name:
+        Short label used in reports (e.g. ``"2clust 1b 1lat"``).
+    clusters:
+        One :class:`ClusterConfig` per physical cluster.
+    bus:
+        The inter-cluster interconnect.  Irrelevant for single-cluster
+        machines.
+    copies_use_issue:
+        When True an inter-cluster copy also consumes an issue slot in the
+        source cluster; by default copies only occupy a bus.
+    """
+
+    name: str
+    clusters: Tuple[ClusterConfig, ...]
+    bus: BusConfig = BusConfig()
+    copies_use_issue: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("a machine needs at least one cluster")
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def is_clustered(self) -> bool:
+        return self.n_clusters > 1
+
+    def cluster(self, index: int) -> ClusterConfig:
+        return self.clusters[index]
+
+    @property
+    def cluster_ids(self) -> List[int]:
+        return list(range(self.n_clusters))
+
+    @property
+    def total_issue_width(self) -> int:
+        return sum(c.issue_width for c in self.clusters)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return all(c == self.clusters[0] for c in self.clusters)
+
+    @property
+    def copy_latency(self) -> int:
+        return self.bus.latency
+
+    # ------------------------------------------------------------------ #
+    # per-operation capacity queries
+    # ------------------------------------------------------------------ #
+    def fu_count(self, cluster: int, op_class: OpClass) -> int:
+        """Units in *cluster* able to execute operations of *op_class*."""
+        kind = fu_kind_for(op_class)
+        if kind is None:
+            return 0
+        return self.clusters[cluster].fu_count(kind)
+
+    def total_fu_count(self, op_class: OpClass) -> int:
+        """Units able to execute *op_class* summed over all clusters."""
+        kind = fu_kind_for(op_class)
+        if kind is None:
+            return self.bus.count
+        return sum(c.fu_count(kind) for c in self.clusters)
+
+    def per_cycle_capacity(self, op_class: OpClass) -> int:
+        """Operations of *op_class* the whole machine can start per cycle.
+
+        Bounded both by the functional units of the right kind and by the
+        total issue width (for copies, by the buses)."""
+        if op_class is OpClass.COPY:
+            return self.bus.count
+        return min(self.total_fu_count(op_class), self.total_issue_width)
+
+    def cluster_capacity(self, cluster: int, op_class: OpClass) -> int:
+        """Operations of *op_class* that cluster *cluster* can start per cycle."""
+        if op_class is OpClass.COPY:
+            return self.bus.count
+        return min(self.fu_count(cluster, op_class), self.clusters[cluster].issue_width)
+
+    def can_execute(self, cluster: int, op: Operation) -> bool:
+        """Whether *cluster* has a functional unit for *op*."""
+        if op.is_copy:
+            return self.bus.count > 0
+        return self.fu_count(cluster, op.op_class) > 0
+
+    # ------------------------------------------------------------------ #
+    # lower bounds used by minAWCT
+    # ------------------------------------------------------------------ #
+    def resource_length_lower_bound(self, ops: Sequence[Operation]) -> int:
+        """Minimum number of issue cycles needed to start all *ops*,
+        considering only machine-wide capacities (ignores dependences)."""
+        if not ops:
+            return 0
+        by_class: Dict[OpClass, int] = {}
+        for op in ops:
+            by_class[op.op_class] = by_class.get(op.op_class, 0) + 1
+        bound = 1
+        for op_class, count in by_class.items():
+            capacity = self.per_cycle_capacity(op_class)
+            if capacity == 0:
+                raise ValueError(f"machine {self.name} cannot execute {op_class} operations")
+            bound = max(bound, -(-count // capacity))
+        total_capacity = self.total_issue_width
+        non_copy = sum(1 for op in ops if not op.is_copy)
+        bound = max(bound, -(-non_copy // total_capacity))
+        return bound
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusteredMachine({self.name}: {self.n_clusters} clusters, "
+            f"issue={self.total_issue_width}, {self.bus})"
+        )

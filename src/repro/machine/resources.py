@@ -1,0 +1,35 @@
+"""Functional-unit kinds and the mapping from operation classes to them."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ir.operation import OpClass
+
+
+class FuKind(enum.Enum):
+    """Kind of functional unit present in a cluster."""
+
+    INT = "int"
+    FP = "fp"
+    MEM = "mem"
+    BRANCH = "branch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Which functional-unit kind executes each operation class.  Copies do not
+#: occupy a functional unit: they occupy a bus slot (and, optionally, an
+#: issue slot in the source cluster — see ClusteredMachine.copies_use_issue).
+_OP_CLASS_TO_FU = {
+    OpClass.INT: FuKind.INT,
+    OpClass.FP: FuKind.FP,
+    OpClass.MEM: FuKind.MEM,
+    OpClass.BRANCH: FuKind.BRANCH,
+}
+
+
+def fu_kind_for(op_class: OpClass) -> FuKind | None:
+    """Functional-unit kind required by *op_class* (None for copies)."""
+    return _OP_CLASS_TO_FU.get(op_class)

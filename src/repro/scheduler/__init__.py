@@ -1,0 +1,37 @@
+"""Schedulers: the proposed virtual-cluster scheduler and the baselines.
+
+* :class:`~repro.scheduler.vcs.VirtualClusterScheduler` — the paper's
+  technique (scheduling graph + virtual clusters + deduction process,
+  Section 4).
+* :class:`~repro.scheduler.cars.CarsScheduler` — the CARS baseline (unified
+  assign-and-schedule list scheduling, Kailas et al.), the comparison point
+  of the paper's evaluation.
+* :class:`~repro.scheduler.list_scheduler.ListScheduler` — a plain list
+  scheduler with naive cluster assignment, useful as a sanity reference.
+
+All schedulers produce a :class:`~repro.scheduler.schedule.Schedule` that can
+be checked with :func:`~repro.scheduler.correctness.validate_schedule` and
+scored with the AWCT metric.
+"""
+
+from repro.scheduler.schedule import Schedule, ScheduledComm, ScheduleResult
+from repro.scheduler.correctness import ScheduleError, ValidationReport, validate_schedule
+from repro.scheduler.list_scheduler import ListScheduler
+from repro.scheduler.cars import CarsScheduler
+from repro.scheduler.heuristics import state_score, compare_states
+from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+
+__all__ = [
+    "Schedule",
+    "ScheduledComm",
+    "ScheduleResult",
+    "ScheduleError",
+    "ValidationReport",
+    "validate_schedule",
+    "ListScheduler",
+    "CarsScheduler",
+    "state_score",
+    "compare_states",
+    "VcsConfig",
+    "VirtualClusterScheduler",
+]

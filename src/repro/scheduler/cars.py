@@ -1,0 +1,314 @@
+"""The CARS baseline: unified assign-and-schedule list scheduling.
+
+CARS (Kailas, Ebcioglu, Agrawala, HPCA 2001) schedules and cluster-assigns
+each instruction in a single pass: instructions become ready when their
+predecessors have been scheduled, are considered in priority order cycle by
+cycle, and each one is placed in the cluster that minimises the copies it
+needs and the load imbalance, inserting the required inter-cluster copies on
+demand.  This is the state-of-the-art comparison point of the paper's
+evaluation; its defining property (and weakness the proposed technique
+attacks) is that every assignment decision only sees the partial schedule
+built so far.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.depgraph import DepKind
+from repro.ir.operation import OpClass, Operation
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+from repro.scheduler.schedule import Schedule, ScheduledComm, ScheduleResult
+
+
+@dataclass
+class _PlannedCopy:
+    """A copy the current placement attempt would have to insert."""
+
+    value: str
+    producer: int
+    cycle: int
+    src_cluster: int
+
+
+class CarsScheduler:
+    """Unified assign-and-schedule list scheduler for clustered VLIWs.
+
+    Parameters
+    ----------
+    cluster_policy:
+        ``"cars"`` (default) ranks candidate clusters by the number of new
+        copies required, then load, then index; ``"naive"`` takes the first
+        cluster with free resources (used by :class:`ListScheduler`).
+    max_cycles:
+        Safety bound on schedule length.
+    """
+
+    name = "CARS"
+
+    def __init__(self, cluster_policy: str = "cars", max_cycles: int = 10_000) -> None:
+        if cluster_policy not in ("cars", "naive"):
+            raise ValueError(f"unknown cluster policy {cluster_policy!r}")
+        self.cluster_policy = cluster_policy
+        self.max_cycles = max_cycles
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def schedule(self, block: Superblock, machine: ClusteredMachine) -> ScheduleResult:
+        """Schedule *block* on *machine* and return the result."""
+        start = time.perf_counter()
+        cycles: Dict[int, int] = {}
+        clusters: Dict[int, int] = {}
+        comms: List[ScheduledComm] = []
+        comm_cycle_by_value: Dict[str, int] = {}
+        usage: Dict[Tuple[int, int, OpClass], int] = {}
+        issue: Dict[Tuple[int, int], int] = {}
+        bus_busy: Dict[int, int] = {}
+        work = 0
+
+        priority = self._priorities(block)
+        unscheduled = set(block.op_ids)
+        graph = block.graph
+        occupancy = machine.bus.occupancy
+        bus_latency = machine.bus.latency
+
+        cycle = 0
+        while unscheduled:
+            if cycle > self.max_cycles:
+                raise RuntimeError(
+                    f"CARS exceeded {self.max_cycles} cycles on {block.name}"
+                )
+            ready = self._ready_ops(block, unscheduled, cycles, cycle)
+            ready.sort(key=lambda op_id: (-priority[op_id], op_id))
+            for op_id in ready:
+                op = block.op(op_id)
+                best: Optional[Tuple[Tuple, int, List[_PlannedCopy]]] = None
+                for cluster in machine.cluster_ids:
+                    work += 1
+                    plan = self._try_place(
+                        block,
+                        machine,
+                        op,
+                        cluster,
+                        cycle,
+                        cycles,
+                        clusters,
+                        comm_cycle_by_value,
+                        usage,
+                        issue,
+                        bus_busy,
+                    )
+                    if plan is None:
+                        continue
+                    copies = plan
+                    load = sum(1 for c in clusters.values() if c == cluster)
+                    if self.cluster_policy == "naive":
+                        cost = (cluster,)
+                    else:
+                        cost = (len(copies), load, cluster)
+                    if best is None or cost < best[0]:
+                        best = (cost, cluster, copies)
+                if best is None:
+                    continue
+                _, cluster, copies = best
+                self._commit(
+                    block,
+                    machine,
+                    op,
+                    cluster,
+                    cycle,
+                    copies,
+                    cycles,
+                    clusters,
+                    comms,
+                    comm_cycle_by_value,
+                    usage,
+                    issue,
+                    bus_busy,
+                )
+                unscheduled.discard(op_id)
+            cycle += 1
+
+        schedule = Schedule(block=block, machine=machine, cycles=cycles, clusters=clusters, comms=comms)
+        return ScheduleResult(
+            scheduler=self.name,
+            block=block,
+            machine=machine,
+            schedule=schedule,
+            work=work,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _priorities(block: Superblock) -> Dict[int, float]:
+        """Critical-path height of every operation, biased by exit weight."""
+        graph = block.graph
+        height: Dict[int, float] = {}
+        for op_id in reversed(graph.topological_order()):
+            op = block.op(op_id)
+            base = float(op.latency)
+            if op.is_exit:
+                base += 2.0 * op.exit_prob
+            succ_part = max(
+                (edge.latency + height[edge.dst] for edge in graph.successors(op_id)),
+                default=0.0,
+            )
+            height[op_id] = base + succ_part
+        return height
+
+    @staticmethod
+    def _ready_ops(
+        block: Superblock,
+        unscheduled: set,
+        cycles: Dict[int, int],
+        cycle: int,
+    ) -> List[int]:
+        """Operations whose predecessors are scheduled and whose non-register
+        dependences are satisfied at *cycle* (register timing is checked per
+        candidate cluster)."""
+        ready = []
+        for op_id in unscheduled:
+            ok = True
+            for edge in block.graph.predecessors(op_id):
+                if edge.src not in cycles:
+                    ok = False
+                    break
+                if not edge.is_register_edge and cycle < cycles[edge.src] + edge.latency:
+                    ok = False
+                    break
+            if ok:
+                ready.append(op_id)
+        return ready
+
+    def _try_place(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        op: Operation,
+        cluster: int,
+        cycle: int,
+        cycles: Dict[int, int],
+        clusters: Dict[int, int],
+        comm_cycle_by_value: Dict[str, int],
+        usage: Dict[Tuple[int, int, OpClass], int],
+        issue: Dict[Tuple[int, int], int],
+        bus_busy: Dict[int, int],
+    ) -> Optional[List[_PlannedCopy]]:
+        """Check whether *op* fits in (*cycle*, *cluster*); return the copies
+        that would have to be inserted, or None when placement is impossible."""
+        if not machine.can_execute(cluster, op):
+            return None
+        if usage.get((cycle, cluster, op.op_class), 0) >= machine.fu_count(cluster, op.op_class):
+            return None
+        issue_extra = 0
+        if issue.get((cycle, cluster), 0) + 1 > machine.cluster(cluster).issue_width:
+            return None
+
+        bus_latency = machine.bus.latency
+        occupancy = machine.bus.occupancy
+        planned: List[_PlannedCopy] = []
+        planned_bus: Dict[int, int] = {}
+
+        for edge in block.graph.predecessors(op.op_id):
+            if not edge.is_register_edge:
+                continue
+            producer = edge.src
+            producer_cycle = cycles[producer]
+            producer_cluster = clusters[producer]
+            ready_local = producer_cycle + block.op(producer).latency
+            if producer_cluster == cluster:
+                if cycle < ready_local:
+                    return None
+                continue
+            # The value must arrive over the bus.
+            existing = comm_cycle_by_value.get(edge.value)
+            if existing is not None:
+                if cycle < existing + bus_latency:
+                    return None
+                continue
+            already = next((p for p in planned if p.value == edge.value), None)
+            if already is not None:
+                if cycle < already.cycle + bus_latency:
+                    return None
+                continue
+            # Insert a new copy: earliest bus slot after the producer finishes
+            # that still arrives in time.
+            slot = None
+            for candidate in range(ready_local, cycle - bus_latency + 1):
+                free = all(
+                    bus_busy.get(candidate + k, 0) + planned_bus.get(candidate + k, 0)
+                    < machine.bus.count
+                    for k in range(occupancy)
+                )
+                if free:
+                    slot = candidate
+                    break
+            if slot is None:
+                return None
+            planned.append(
+                _PlannedCopy(
+                    value=edge.value,
+                    producer=producer,
+                    cycle=slot,
+                    src_cluster=producer_cluster,
+                )
+            )
+            for k in range(occupancy):
+                planned_bus[slot + k] = planned_bus.get(slot + k, 0) + 1
+
+        if machine.copies_use_issue:
+            same_cycle_copies = sum(
+                1 for p in planned if p.cycle == cycle and p.src_cluster == cluster
+            )
+            if (
+                issue.get((cycle, cluster), 0) + 1 + same_cycle_copies
+                > machine.cluster(cluster).issue_width
+            ):
+                return None
+        return planned
+
+    def _commit(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        op: Operation,
+        cluster: int,
+        cycle: int,
+        copies: List[_PlannedCopy],
+        cycles: Dict[int, int],
+        clusters: Dict[int, int],
+        comms: List[ScheduledComm],
+        comm_cycle_by_value: Dict[str, int],
+        usage: Dict[Tuple[int, int, OpClass], int],
+        issue: Dict[Tuple[int, int], int],
+        bus_busy: Dict[int, int],
+    ) -> None:
+        cycles[op.op_id] = cycle
+        clusters[op.op_id] = cluster
+        usage[(cycle, cluster, op.op_class)] = usage.get((cycle, cluster, op.op_class), 0) + 1
+        issue[(cycle, cluster)] = issue.get((cycle, cluster), 0) + 1
+        occupancy = machine.bus.occupancy
+        for copy in copies:
+            comms.append(
+                ScheduledComm(
+                    value=copy.value,
+                    producer=copy.producer,
+                    cycle=copy.cycle,
+                    src_cluster=copy.src_cluster,
+                    dst_cluster=cluster,
+                )
+            )
+            comm_cycle_by_value[copy.value] = copy.cycle
+            for k in range(occupancy):
+                bus_busy[copy.cycle + k] = bus_busy.get(copy.cycle + k, 0) + 1
+            if machine.copies_use_issue:
+                issue[(copy.cycle, copy.src_cluster)] = (
+                    issue.get((copy.cycle, copy.src_cluster), 0) + 1
+                )

@@ -1,0 +1,165 @@
+"""Schedule validity checking (Section 4.5 of the paper, generalised).
+
+A schedule is valid when every operation is placed in a cycle and a cluster
+that can execute it, all dependences are honoured (crossing-cluster register
+values through a scheduled copy with the bus latency), no cycle
+over-subscribes a cluster's functional units or issue width, and no cycle
+over-subscribes the bus.  The same checker is applied to the output of every
+scheduler in the repository, so the comparison between the proposed
+technique and the baselines is on equal, machine-checked footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.depgraph import DepKind
+from repro.ir.operation import OpClass
+from repro.scheduler.schedule import Schedule
+
+
+class ScheduleError(Exception):
+    """A schedule violates a validity condition."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one schedule."""
+
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            raise ScheduleError("; ".join(self.errors))
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_schedule(schedule: Schedule, max_errors: int = 50) -> ValidationReport:
+    """Check *schedule* against every validity condition."""
+    report = ValidationReport()
+    block, machine = schedule.block, schedule.machine
+
+    def note(message: str) -> None:
+        if len(report.errors) < max_errors:
+            report.errors.append(message)
+
+    # ------------------------------------------------------------------ #
+    # completeness and well-formedness
+    # ------------------------------------------------------------------ #
+    for op in block.operations:
+        if op.op_id not in schedule.cycles:
+            note(f"operation {op.op_id} ({op.name}) has no cycle")
+            continue
+        if schedule.cycles[op.op_id] < 0:
+            note(f"operation {op.op_id} scheduled in negative cycle")
+        if op.op_id not in schedule.clusters:
+            note(f"operation {op.op_id} ({op.name}) has no cluster")
+            continue
+        cluster = schedule.clusters[op.op_id]
+        if cluster not in machine.cluster_ids:
+            note(f"operation {op.op_id} assigned to unknown cluster {cluster}")
+            continue
+        if not machine.can_execute(cluster, op):
+            note(
+                f"cluster {cluster} has no {op.op_class} unit for operation {op.op_id}"
+            )
+
+    if report.errors:
+        return report
+
+    # ------------------------------------------------------------------ #
+    # dependences (including inter-cluster communication timing)
+    # ------------------------------------------------------------------ #
+    bus_latency = machine.bus.latency
+    for edge in block.graph.edges():
+        src_cycle = schedule.cycles[edge.src]
+        dst_cycle = schedule.cycles[edge.dst]
+        crosses = (
+            edge.is_register_edge
+            and schedule.clusters[edge.src] != schedule.clusters[edge.dst]
+        )
+        if not crosses:
+            if dst_cycle < src_cycle + edge.latency:
+                note(
+                    f"dependence {edge.src}->{edge.dst} violated: "
+                    f"{dst_cycle} < {src_cycle} + {edge.latency}"
+                )
+            continue
+        comm = schedule.comm_for_value(edge.value)
+        if comm is None:
+            note(
+                f"value {edge.value!r} crosses clusters "
+                f"({edge.src}@{schedule.clusters[edge.src]} -> "
+                f"{edge.dst}@{schedule.clusters[edge.dst]}) without a copy"
+            )
+            continue
+        if comm.cycle < src_cycle + block.op(edge.src).latency:
+            note(
+                f"copy of {edge.value!r} issued in cycle {comm.cycle}, before the "
+                f"producer's result is ready in cycle {src_cycle + block.op(edge.src).latency}"
+            )
+        if dst_cycle < comm.cycle + bus_latency:
+            note(
+                f"consumer {edge.dst} of {edge.value!r} issues in cycle {dst_cycle}, before "
+                f"the copy completes in cycle {comm.cycle + bus_latency}"
+            )
+
+    for comm in schedule.comms:
+        if comm.producer in schedule.clusters and comm.src_cluster != schedule.clusters[comm.producer]:
+            note(
+                f"copy of {comm.value!r} reads from cluster {comm.src_cluster} but its "
+                f"producer {comm.producer} is in cluster {schedule.clusters[comm.producer]}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # per-cycle, per-cluster resources
+    # ------------------------------------------------------------------ #
+    usage: Dict[Tuple[int, int, OpClass], int] = {}
+    issue: Dict[Tuple[int, int], int] = {}
+    for op in block.operations:
+        cycle = schedule.cycles[op.op_id]
+        cluster = schedule.clusters[op.op_id]
+        usage[(cycle, cluster, op.op_class)] = usage.get((cycle, cluster, op.op_class), 0) + 1
+        issue[(cycle, cluster)] = issue.get((cycle, cluster), 0) + 1
+    if machine.copies_use_issue:
+        for comm in schedule.comms:
+            issue[(comm.cycle, comm.src_cluster)] = issue.get((comm.cycle, comm.src_cluster), 0) + 1
+
+    for (cycle, cluster, op_class), count in sorted(
+        usage.items(), key=lambda item: (item[0][0], item[0][1], item[0][2].value)
+    ):
+        capacity = machine.fu_count(cluster, op_class)
+        if count > capacity:
+            note(
+                f"cycle {cycle}, cluster {cluster}: {count} {op_class} operations, "
+                f"only {capacity} unit(s)"
+            )
+    for (cycle, cluster), count in sorted(issue.items()):
+        width = machine.cluster(cluster).issue_width
+        if count > width:
+            note(
+                f"cycle {cycle}, cluster {cluster}: {count} operations issued, "
+                f"issue width is {width}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # bus occupancy
+    # ------------------------------------------------------------------ #
+    if schedule.comms:
+        occupancy = machine.bus.occupancy
+        last_cycle = max(c.cycle for c in schedule.comms) + occupancy
+        for cycle in range(last_cycle + 1):
+            busy = sum(1 for c in schedule.comms if c.occupies(cycle, occupancy))
+            if busy > machine.bus.count:
+                note(
+                    f"cycle {cycle}: {busy} transfers on {machine.bus.count} bus(es)"
+                )
+
+    return report

@@ -1,0 +1,40 @@
+"""Heuristic comparison of candidate scheduling states (Section 4.4.3).
+
+After the deduction process has produced the future state of every candidate
+decision, the best one is selected with the paper's three criteria, in order:
+
+1. fewer communications,
+2. more compact code,
+3. a smaller ratio of out-edges to virtual clusters ("it is usually better
+   to have more VCs and fewer outedges").
+
+Ties are broken by the total remaining slack (a more constrained state has
+less freedom left to go wrong) and deterministically by nothing else — the
+caller supplies its own final tie-break (usually the candidate's identity).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.deduction.state import SchedulingState
+
+
+def state_score(state: SchedulingState) -> Tuple[float, float, float, float]:
+    """Score of a candidate state; lexicographically smaller is better."""
+    return (
+        float(state.n_communications()),
+        state.compactness(),
+        state.outedge_vc_ratio(),
+        state.total_slack(),
+    )
+
+
+def compare_states(first: SchedulingState, second: SchedulingState) -> int:
+    """Return -1/0/+1 when *first* is better/equal/worse than *second*."""
+    a, b = state_score(first), state_score(second)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0

@@ -1,0 +1,20 @@
+"""A plain list scheduler with naive cluster assignment.
+
+Useful as a sanity reference: it uses the same cycle-driven machinery as the
+CARS baseline but picks the first cluster with free resources, ignoring
+communication cost and load balance.  On a single-cluster machine it is an
+ordinary critical-path list scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.scheduler.cars import CarsScheduler
+
+
+class ListScheduler(CarsScheduler):
+    """Critical-path list scheduling with first-fit cluster assignment."""
+
+    name = "ListScheduler"
+
+    def __init__(self, max_cycles: int = 10_000) -> None:
+        super().__init__(cluster_policy="naive", max_cycles=max_cycles)

@@ -1,0 +1,511 @@
+"""The proposed technique: virtual cluster scheduling through the scheduling
+graph (Section 4 of the paper).
+
+The driver iterates over target AWCT values from an enhanced lower bound
+upwards; for each target it initialises a scheduling state through the
+deduction process and runs the six decision stages:
+
+1. decide combinations between original operations,
+2. pin original operations with remaining slack to cycles,
+3. eliminate out-edges (fuse VCs selected by a maximum weight matching, or
+   mark them incompatible, inserting communications),
+4. reduce and map virtual clusters onto physical clusters,
+5. / 6. decide and pin the communications created along the way.
+
+Whenever the deduction process proves that a candidate can neither be chosen
+nor discarded, the target AWCT is abandoned and the next one is tried.  A
+work budget (the compile-time proxy) or wall-clock limit aborts the whole
+attempt, in which case the scheduler falls back to the CARS baseline for the
+block — exactly the paper's threshold mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bounds.awct import min_exit_cycles
+from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
+from repro.deduction.consequence import (
+    ChooseCombination,
+    Decision,
+    DiscardCombination,
+    ForbidCycle,
+    FuseVCs,
+    MarkVCsIncompatible,
+    ScheduleInCycle,
+    SetExitDeadlines,
+)
+from repro.deduction.engine import (
+    BudgetExhausted,
+    DeductionProcess,
+    DeductionResult,
+    WorkBudget,
+)
+from repro.deduction.rules import default_rules
+from repro.deduction.state import SchedulingState
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+from repro.scheduler import candidates as cand
+from repro.scheduler.cars import CarsScheduler
+from repro.scheduler.correctness import validate_schedule
+from repro.scheduler.heuristics import state_score
+from repro.scheduler.schedule import Schedule, ScheduledComm, ScheduleResult
+from repro.sgraph.scheduling_graph import SchedulingGraph
+from repro.vcluster.mapping import map_virtual_to_physical
+
+
+@dataclass
+class VcsConfig:
+    """Tunable knobs of the proposed scheduler.
+
+    The defaults correspond to the configuration used for the main results;
+    the ablation benchmarks flip individual flags.
+    """
+
+    #: Deterministic compile-effort limit (deduction rule firings); None = unlimited.
+    work_budget: Optional[int] = None
+    #: Wall-clock limit in seconds; None = unlimited.
+    time_limit: Optional[float] = None
+    #: Maximum number of AWCT targets tried before giving up.
+    max_awct_steps: int = 48
+    #: Stage 1 only studies pairs whose combination slack is at most this
+    #: value (pairs forced to overlap are always studied); the remaining
+    #: pairs are decided implicitly by the cycle-pinning stage.  The default
+    #: of -1 restricts stage 1 to pairs that are forced to overlap: electing
+    #: to rigidly link two operations that could also be kept apart turned
+    #: out to over-constrain the schedule more often than it helped.
+    stage1_slack_limit: float = -1.0
+    #: Hard cap on stage-1 decisions per AWCT target.
+    stage1_max_decisions: int = 64
+    #: Number of cycles studied per operation in stages 2 and 6.
+    cycle_candidates: int = 2
+    #: Enable the partially-linked-communication rules (ablation A1).
+    enable_plc: bool = True
+    #: Map virtual clusters eagerly after stage 1 instead of postponing the
+    #: mapping to the end (ablation A2).
+    eager_mapping: bool = False
+    #: Use the maximum weight matching in stage 3 (ablation A3); when off,
+    #: out-edges are eliminated one highest-weight pair at a time.
+    use_matching: bool = True
+    #: Fall back to CARS when the budget is exhausted (the paper's timeout
+    #: mechanism).  When False the scheduler raises instead.
+    fallback_to_cars: bool = True
+
+
+class VirtualClusterScheduler:
+    """Scheduler implementing the paper's technique."""
+
+    name = "VCS"
+
+    def __init__(self, config: Optional[VcsConfig] = None) -> None:
+        self.config = config or VcsConfig()
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def schedule(self, block: Superblock, machine: ClusteredMachine) -> ScheduleResult:
+        """Schedule *block* on *machine*; never returns without a schedule
+        (falls back to CARS on budget exhaustion unless configured not to)."""
+        start = time.perf_counter()
+        self._deadline = (
+            start + self.config.time_limit if self.config.time_limit is not None else None
+        )
+        dp = DeductionProcess(rules=default_rules(enable_plc=self.config.enable_plc))
+        budget = WorkBudget(self.config.work_budget)
+        sgraph = SchedulingGraph(block, machine)
+
+        steps_tried = 0
+        timed_out = False
+        try:
+            initial = self._tighten_exit_bounds(block, machine, sgraph, dp, budget)
+            enumerator = ExitBoundEnumerator(block, machine, initial_cycles=initial)
+            for target in enumerator:
+                steps_tried += 1
+                if steps_tried > self.config.max_awct_steps:
+                    break
+                self._check_time()
+                state = self._try_target(block, machine, sgraph, dp, target, budget)
+                if state is None:
+                    continue
+                schedule = self._extract(state, machine)
+                if schedule is None:
+                    continue
+                if not validate_schedule(schedule).ok:
+                    continue
+                return ScheduleResult(
+                    scheduler=self.name,
+                    block=block,
+                    machine=machine,
+                    schedule=schedule,
+                    work=budget.spent,
+                    wall_time=time.perf_counter() - start,
+                    awct_target_steps=steps_tried,
+                )
+        except BudgetExhausted:
+            timed_out = True
+
+        if not self.config.fallback_to_cars:
+            return ScheduleResult(
+                scheduler=self.name,
+                block=block,
+                machine=machine,
+                schedule=None,
+                work=budget.spent,
+                wall_time=time.perf_counter() - start,
+                timed_out=timed_out,
+                awct_target_steps=steps_tried,
+            )
+        fallback = CarsScheduler().schedule(block, machine)
+        return ScheduleResult(
+            scheduler=self.name,
+            block=block,
+            machine=machine,
+            schedule=fallback.schedule,
+            work=budget.spent + fallback.work,
+            wall_time=time.perf_counter() - start,
+            timed_out=timed_out,
+            awct_target_steps=steps_tried,
+            fallback_used=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _check_time(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise BudgetExhausted("wall-clock limit exceeded")
+
+    def _study(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
+        budget: WorkBudget,
+    ) -> DeductionResult:
+        """Evaluate a sequence of decisions on a copy of *state*."""
+        working = state.copy()
+        last: Optional[DeductionResult] = None
+        for decision in decisions:
+            last = dp.apply(working, decision, budget=budget, in_place=True)
+            if not last.ok:
+                return last
+            working = last.state
+        if last is None:
+            return DeductionResult(state=working)
+        return DeductionResult(state=working, consequences=last.consequences, work=last.work)
+
+    def _commit(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decision: Decision,
+        budget: WorkBudget,
+    ) -> Optional[SchedulingState]:
+        """Apply *decision* to a copy of *state* and return it (None on
+        contradiction)."""
+        result = dp.apply(state, decision, budget=budget)
+        if not result.ok:
+            return None
+        return result.state
+
+    def _tighten_exit_bounds(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        sgraph: SchedulingGraph,
+        dp: DeductionProcess,
+        budget: WorkBudget,
+        max_probe: int = 6,
+    ) -> Dict[int, int]:
+        """Enhanced minAWCT (Section 4.2): probe each exit's earliest cycle
+        through the deduction process and push it up when the DP proves it
+        impossible."""
+        base = min_exit_cycles(block, machine)
+        tightened: Dict[int, int] = {}
+        for exit_id, cycle in base.items():
+            chosen = cycle
+            for attempt in range(max_probe):
+                self._check_time()
+                probe = SchedulingState(block, machine, sgraph)
+                result = dp.apply(
+                    probe,
+                    SetExitDeadlines.from_mapping({exit_id: chosen}),
+                    budget=budget,
+                    in_place=True,
+                )
+                if result.ok:
+                    break
+                chosen += 1
+            tightened[exit_id] = chosen
+        return tightened
+
+    # ------------------------------------------------------------------ #
+    # per-target scheduling
+    # ------------------------------------------------------------------ #
+    def _try_target(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        sgraph: SchedulingGraph,
+        dp: DeductionProcess,
+        target: ExitBoundStep,
+        budget: WorkBudget,
+    ) -> Optional[SchedulingState]:
+        state = SchedulingState(block, machine, sgraph)
+        result = dp.apply(
+            state,
+            SetExitDeadlines.from_mapping(target.exit_cycles),
+            budget=budget,
+            in_place=True,
+        )
+        if not result.ok:
+            return None
+        state = result.state
+
+        if self.config.eager_mapping:
+            stages = [
+                self._stage_combinations,
+                self._stage_eliminate_outedges,
+                self._stage_final_mapping,
+                self._stage_fix_cycles,
+                self._stage_fix_communications,
+            ]
+        else:
+            stages = [
+                self._stage_combinations,
+                self._stage_fix_cycles,
+                self._stage_eliminate_outedges,
+                self._stage_final_mapping,
+                self._stage_fix_communications,
+            ]
+        for stage in stages:
+            self._check_time()
+            state = stage(dp, state, budget)
+            if state is None:
+                return None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # stage 1: combinations between original operations
+    # ------------------------------------------------------------------ #
+    def _stage_combinations(
+        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
+    ) -> Optional[SchedulingState]:
+        decisions_made = 0
+        while decisions_made < self.config.stage1_max_decisions:
+            self._check_time()
+            pick = cand.most_constraining_pair(state)
+            if pick is None:
+                return state
+            u, v, slack = pick
+            forced = state.must_overlap(u, v)
+            if not forced and slack > self.config.stage1_slack_limit:
+                return state
+            decisions_made += 1
+
+            viable: List[Tuple[Tuple, int, SchedulingState]] = []
+            for distance in list(state.remaining_combinations(u, v)):
+                study = self._study(dp, state, [ChooseCombination(u, v, distance)], budget)
+                if study.ok:
+                    viable.append((state_score(study.state), distance, study.state))
+                else:
+                    # The deduction process proved this combination leads to
+                    # no valid schedule: discarding it is mandatory.
+                    committed = self._commit(
+                        dp, state, DiscardCombination(u, v, distance), budget
+                    )
+                    if committed is None:
+                        return None
+                    state = committed
+
+            if viable:
+                viable.sort(key=lambda item: (item[0], item[1]))
+                state = viable[0][2]
+            elif not state.is_pair_decided(u, v):
+                # The pair can neither be chosen nor discarded: no schedule
+                # exists for this AWCT target.
+                return None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # stage 2 / 6: pin operations with slack to cycles
+    # ------------------------------------------------------------------ #
+    def _fix_cycles(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        budget: WorkBudget,
+        communications: bool,
+    ) -> Optional[SchedulingState]:
+        safety = 0
+        limit = 8 * (len(state.all_ids) + 4)
+        while True:
+            safety += 1
+            if safety > limit:
+                return None
+            self._check_time()
+            op_id = cand.lowest_slack_operation(state, communications=communications)
+            if op_id is None:
+                return state
+            # Copies are few and bus contention is unforgiving (especially on
+            # a non-pipelined bus), so more alternative cycles are studied
+            # for them than for ordinary operations.
+            n_candidates = (
+                max(4, self.config.cycle_candidates)
+                if communications
+                else self.config.cycle_candidates
+            )
+            cycles = cand.cycle_candidates(state, op_id, n_candidates)
+            viable: List[Tuple[Tuple, int, SchedulingState]] = []
+            earliest_contradicts = False
+            for cycle in cycles:
+                study = self._study(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
+                if study.ok:
+                    viable.append((state_score(study.state), cycle, study.state))
+                elif cycle == state.estart[op_id]:
+                    earliest_contradicts = True
+            if viable:
+                viable.sort(key=lambda item: (item[0], item[1]))
+                state = viable[0][2]
+                continue
+            if earliest_contradicts and state.slack(op_id) > 0:
+                committed = self._commit(
+                    dp, state, ForbidCycle(op_id, state.estart[op_id]), budget
+                )
+                if committed is None:
+                    return None
+                state = committed
+                continue
+            return None
+
+    def _stage_fix_cycles(
+        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
+    ) -> Optional[SchedulingState]:
+        return self._fix_cycles(dp, state, budget, communications=False)
+
+    def _stage_fix_communications(
+        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
+    ) -> Optional[SchedulingState]:
+        state = state.copy()
+        state.drop_unresolved_plcs()
+        return self._fix_cycles(dp, state, budget, communications=True)
+
+    # ------------------------------------------------------------------ #
+    # stage 3: eliminate out-edges
+    # ------------------------------------------------------------------ #
+    def _stage_eliminate_outedges(
+        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
+    ) -> Optional[SchedulingState]:
+        safety = 0
+        limit = 4 * len(state.original_ids) + 16
+        while True:
+            safety += 1
+            if safety > limit:
+                return None
+            self._check_time()
+            if not state.outedges():
+                return state
+
+            if self.config.use_matching:
+                pairs = cand.matching_candidates(state)
+                if len(pairs) > 1:
+                    study = self._study(dp, state, [FuseVCs(pairs=tuple(pairs))], budget)
+                    if study.ok:
+                        state = study.state
+                        continue
+                    # A failed matching is not decomposed into per-pair
+                    # discards (Section 4.4.2); fall through to the single
+                    # highest-weight edge.
+
+            pair = cand.highest_weight_pair(state)
+            if pair is None:
+                return state
+            a, b = pair
+            study = self._study(dp, state, [FuseVCs.single(a, b)], budget)
+            if study.ok:
+                state = study.state
+                continue
+            study = self._study(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
+            if study.ok:
+                state = study.state
+                continue
+            return None
+
+    # ------------------------------------------------------------------ #
+    # stage 4: final mapping of virtual clusters to physical clusters
+    # ------------------------------------------------------------------ #
+    def _stage_final_mapping(
+        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
+    ) -> Optional[SchedulingState]:
+        n_clusters = state.machine.n_clusters
+        safety = 0
+        limit = 4 * len(state.original_ids) + 16
+        while True:
+            safety += 1
+            if safety > limit:
+                return None
+            self._check_time()
+            if state.vcg.n_vcs <= n_clusters:
+                mapping = map_virtual_to_physical(state.vcg, n_clusters, injective=True)
+                if mapping is not None:
+                    return state
+            candidates = cand.fusion_candidates_for_mapping(state)
+            if not candidates:
+                return None
+            progressed = False
+            for a, b in candidates:
+                study = self._study(dp, state, [FuseVCs.single(a, b)], budget)
+                if study.ok:
+                    state = study.state
+                    progressed = True
+                    break
+                study = self._study(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
+                if study.ok:
+                    state = study.state
+                    progressed = True
+                    break
+            if not progressed:
+                return None
+
+    # ------------------------------------------------------------------ #
+    # schedule extraction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _extract(state: SchedulingState, machine: ClusteredMachine) -> Optional[Schedule]:
+        mapping = map_virtual_to_physical(state.vcg, machine.n_clusters, injective=True)
+        if mapping is None:
+            mapping = map_virtual_to_physical(state.vcg, machine.n_clusters)
+        if mapping is None:
+            return None
+        cycles: Dict[int, int] = {}
+        clusters: Dict[int, int] = {}
+        for op_id in state.original_ids:
+            if not state.is_fixed(op_id):
+                return None
+            cycles[op_id] = state.estart[op_id]
+            clusters[op_id] = mapping[state.vcg.vc_of(op_id)]
+        comms: List[ScheduledComm] = []
+        for comm in state.comms.fully_linked():
+            if not state.is_fixed(comm.comm_id):
+                return None
+            src = clusters.get(comm.producer, 0)
+            dst = clusters.get(comm.consumer) if comm.consumer is not None else None
+            comms.append(
+                ScheduledComm(
+                    value=comm.value or f"comm{comm.comm_id}",
+                    producer=comm.producer if comm.producer is not None else -1,
+                    cycle=state.estart[comm.comm_id],
+                    src_cluster=src,
+                    dst_cluster=dst,
+                )
+            )
+        return Schedule(
+            block=state.block,
+            machine=machine,
+            cycles=cycles,
+            clusters=clusters,
+            comms=comms,
+        )

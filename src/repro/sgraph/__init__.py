@@ -1,0 +1,27 @@
+"""The Scheduling Graph (Section 3.1 of the paper).
+
+The scheduling graph (SG) enumerates, for every pair of operations that may
+overlap in some final schedule, the feasible *combinations*: the cycle
+distances the pair may be placed at.  Scheduling proceeds by choosing or
+discarding combinations; a chosen combination rigidly links the two
+operations into a *connected component* tracked by an offset union-find.
+"""
+
+from repro.sgraph.combination import (
+    Combination,
+    combination_range,
+    feasible_combinations,
+    pair_key,
+)
+from repro.sgraph.scheduling_graph import SchedulingGraph
+from repro.sgraph.components import OffsetUnionFind, OffsetContradiction
+
+__all__ = [
+    "Combination",
+    "combination_range",
+    "feasible_combinations",
+    "pair_key",
+    "SchedulingGraph",
+    "OffsetUnionFind",
+    "OffsetContradiction",
+]

@@ -1,0 +1,127 @@
+"""Combinations: cycle-distance relations between pairs of operations.
+
+A combination between the ordered pair ``(u, v)`` (ordered by operation id,
+the paper's "lexicographic order") with distance ``d`` states that in the
+final schedule ``cycle(v) - cycle(u) = d``.  Only distances at which the two
+operations' execution intervals overlap are combinations; distances outside
+that window do not constrain cluster assignment and need not be enumerated.
+
+Feasibility of a combination (Section 3.1) depends on
+
+* **dependences** — a combination contradicting a direct or transitive
+  dependence distance is infeasible;
+* **resources** — a combination is infeasible if the two operations cannot
+  be issued at that distance on any machine of the given shape (the only
+  pairwise case is distance 0 with insufficient per-class or issue
+  capacity);
+* **AWCT bounds** — handled dynamically by the deduction process, because
+  the scheduling graph is built once and reused for every AWCT target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import OpClass, Operation
+from repro.machine.machine import ClusteredMachine
+
+
+def pair_key(u: int, v: int) -> Tuple[int, int]:
+    """Canonical (ordered) key for an unordered operation pair."""
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class Combination:
+    """One combination of the scheduling graph.
+
+    ``u < v`` always holds and ``distance`` is ``cycle(v) - cycle(u)``.
+    """
+
+    u: int
+    v: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if self.u >= self.v:
+            raise ValueError("combination pairs must be ordered by id (u < v)")
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.u, self.v)
+
+    def offset_from(self, op_id: int) -> int:
+        """Distance of the *other* operation relative to *op_id*."""
+        if op_id == self.u:
+            return self.distance
+        if op_id == self.v:
+            return -self.distance
+        raise KeyError(f"operation {op_id} is not part of {self}")
+
+    def other(self, op_id: int) -> int:
+        if op_id == self.u:
+            return self.v
+        if op_id == self.v:
+            return self.u
+        raise KeyError(f"operation {op_id} is not part of {self}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"comb({self.u},{self.v})={self.distance:+d}"
+
+
+def combination_range(latency_u: int, latency_v: int) -> range:
+    """Distances at which two operations' execution intervals overlap.
+
+    With ``d = cycle(v) - cycle(u)`` the intervals ``[cycle(u), cycle(u) +
+    latency_u - 1]`` and ``[cycle(v), cycle(v) + latency_v - 1]`` intersect
+    iff ``-(latency_v - 1) <= d <= latency_u - 1``.
+    """
+    return range(-(latency_v - 1), latency_u)
+
+
+def _same_cycle_resource_ok(op_u: Operation, op_v: Operation, machine: ClusteredMachine) -> bool:
+    """Whether the machine can issue *op_u* and *op_v* in the same cycle."""
+    if op_u.op_class == op_v.op_class:
+        if machine.per_cycle_capacity(op_u.op_class) < 2:
+            return False
+    if machine.total_issue_width < 2:
+        return False
+    return True
+
+
+def feasible_combinations(
+    graph: DependenceGraph,
+    machine: ClusteredMachine,
+    u: int,
+    v: int,
+) -> List[Combination]:
+    """All feasible combinations between operations *u* and *v*.
+
+    The returned list is empty when the pair cannot overlap in any schedule
+    (for instance when a dependence separates them by at least the producer's
+    full latency).
+    """
+    if u == v:
+        raise ValueError("a combination relates two distinct operations")
+    a, b = pair_key(u, v)
+    op_a, op_b = graph.op(a), graph.op(b)
+
+    low = -(op_b.latency - 1)
+    high = op_a.latency - 1
+
+    # Dependence constraints: transitive minimum distances clip the window.
+    dist_ab = graph.min_distance(a, b)
+    if dist_ab is not None:
+        low = max(low, dist_ab)
+    dist_ba = graph.min_distance(b, a)
+    if dist_ba is not None:
+        high = min(high, -dist_ba)
+
+    result: List[Combination] = []
+    for d in range(low, high + 1):
+        if d == 0 and not _same_cycle_resource_ok(op_a, op_b, machine):
+            continue
+        result.append(Combination(a, b, d))
+    return result

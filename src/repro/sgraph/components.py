@@ -1,0 +1,142 @@
+"""Offset union-find: connected components with rigid cycle offsets.
+
+Choosing a combination between two operations fixes their relative issue
+cycles; the resulting "complex instruction" (connected component in the
+paper's terms) behaves as a single unit whose members move together.  The
+offset union-find keeps, for every operation, its cycle offset relative to
+the representative of its component, so that merging two components with a
+new relative-distance constraint either succeeds (and the offsets compose)
+or is detected as contradictory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class OffsetContradiction(Exception):
+    """Two operations are already linked at a different relative distance."""
+
+
+class OffsetUnionFind:
+    """Union-find over operation ids with integer offsets.
+
+    The invariant is ``cycle(x) = cycle(root(x)) + offset(x)``.
+    ``link(u, v, d)`` records ``cycle(v) - cycle(u) = d``.
+    """
+
+    def __init__(self, elements: Iterable[int] = ()) -> None:
+        self._parent: Dict[int, int] = {}
+        self._offset: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+        for element in elements:
+            self.add(element)
+
+    # ------------------------------------------------------------------ #
+    # basic operations
+    # ------------------------------------------------------------------ #
+    def add(self, element: int) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._offset[element] = 0
+            self._size[element] = 1
+
+    def __contains__(self, element: int) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: int) -> Tuple[int, int]:
+        """Return ``(root, offset_of_element_relative_to_root)``."""
+        if element not in self._parent:
+            raise KeyError(f"unknown element {element}")
+        path: List[int] = []
+        node = element
+        while self._parent[node] != node:
+            path.append(node)
+            node = self._parent[node]
+        root = node
+        # Path compression, accumulating offsets towards the root.
+        for node in reversed(path):
+            parent = self._parent[node]
+            self._offset[node] += self._offset[parent] if parent != root else 0
+            # After the loop below, every node on the path points directly
+            # at the root, so the accumulated offset is already relative to
+            # the root.
+            self._parent[node] = root
+        return root, self._offset[element]
+
+    def offset_between(self, u: int, v: int) -> int | None:
+        """``cycle(v) - cycle(u)`` when the two are linked, else None."""
+        root_u, off_u = self.find(u)
+        root_v, off_v = self.find(v)
+        if root_u != root_v:
+            return None
+        return off_v - off_u
+
+    def connected(self, u: int, v: int) -> bool:
+        return self.find(u)[0] == self.find(v)[0]
+
+    def link(self, u: int, v: int, distance: int) -> bool:
+        """Record ``cycle(v) - cycle(u) = distance``.
+
+        Returns True when the link merged two components, False when the
+        constraint was already implied.  Raises :class:`OffsetContradiction`
+        when the two are already linked at a different distance.
+        """
+        self.add(u)
+        self.add(v)
+        root_u, off_u = self.find(u)
+        root_v, off_v = self.find(v)
+        if root_u == root_v:
+            if off_v - off_u != distance:
+                raise OffsetContradiction(
+                    f"operations {u} and {v} already linked at distance "
+                    f"{off_v - off_u}, cannot set {distance}"
+                )
+            return False
+        # Attach the smaller tree below the larger one.
+        if self._size[root_u] < self._size[root_v]:
+            # cycle(root_u) = cycle(root_v) + (off_v - distance - off_u)
+            self._parent[root_u] = root_v
+            self._offset[root_u] = off_v - distance - off_u
+            self._size[root_v] += self._size[root_u]
+        else:
+            # cycle(root_v) = cycle(root_u) + (off_u + distance - off_v)
+            self._parent[root_v] = root_u
+            self._offset[root_v] = off_u + distance - off_v
+            self._size[root_u] += self._size[root_v]
+        return True
+
+    # ------------------------------------------------------------------ #
+    # component queries
+    # ------------------------------------------------------------------ #
+    def component(self, element: int) -> List[Tuple[int, int]]:
+        """Members of *element*'s component as ``(member, offset)`` pairs,
+        offsets relative to *element*."""
+        root, base = self.find(element)
+        members = []
+        for other in self._parent:
+            other_root, other_off = self.find(other)
+            if other_root == root:
+                members.append((other, other_off - base))
+        return sorted(members)
+
+    def components(self) -> List[List[int]]:
+        """All components as sorted lists of members."""
+        groups: Dict[int, List[int]] = {}
+        for element in self._parent:
+            root, _ = self.find(element)
+            groups.setdefault(root, []).append(element)
+        return sorted(sorted(group) for group in groups.values())
+
+    def n_components(self) -> int:
+        return len({self.find(e)[0] for e in self._parent})
+
+    def copy(self) -> "OffsetUnionFind":
+        clone = OffsetUnionFind()
+        clone._parent = dict(self._parent)
+        clone._offset = dict(self._offset)
+        clone._size = dict(self._size)
+        return clone

@@ -1,0 +1,99 @@
+"""Construction and queries of the Scheduling Graph.
+
+The SG is an undirected graph over the superblock's operations; an edge
+between *u* and *v* carries the set of feasible combinations between them.
+It is computed once per superblock (using only dependence and resource
+information, which are common to all AWCT targets) and then filtered
+dynamically by the deduction process as bounds tighten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+from repro.sgraph.combination import Combination, feasible_combinations, pair_key
+
+
+class SchedulingGraph:
+    """All feasible combinations between overlapping operation pairs.
+
+    Parameters
+    ----------
+    block:
+        The superblock whose operations are related.
+    machine:
+        Machine description used to rule out pairwise resource conflicts.
+    """
+
+    def __init__(self, block: Superblock, machine: ClusteredMachine) -> None:
+        self._block = block
+        self._machine = machine
+        self._combinations: Dict[Tuple[int, int], Tuple[Combination, ...]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        op_ids = self._block.op_ids
+        for i, u in enumerate(op_ids):
+            for v in op_ids[i + 1:]:
+                combos = feasible_combinations(self._block.graph, self._machine, u, v)
+                if combos:
+                    self._combinations[(u, v)] = tuple(combos)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def block(self) -> Superblock:
+        return self._block
+
+    @property
+    def machine(self) -> ClusteredMachine:
+        return self._machine
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All pairs linked by at least one combination, sorted."""
+        return sorted(self._combinations)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return pair_key(u, v) in self._combinations
+
+    def combinations(self, u: int, v: int) -> Tuple[Combination, ...]:
+        """Feasible combinations between *u* and *v* (may be empty)."""
+        return self._combinations.get(pair_key(u, v), ())
+
+    def all_combinations(self) -> Iterator[Combination]:
+        for combos in self._combinations.values():
+            yield from combos
+
+    def n_combinations(self) -> int:
+        return sum(len(c) for c in self._combinations.values())
+
+    def neighbors(self, op_id: int) -> List[int]:
+        """Operations sharing at least one combination with *op_id*."""
+        out: Set[int] = set()
+        for (u, v) in self._combinations:
+            if u == op_id:
+                out.add(v)
+            elif v == op_id:
+                out.add(u)
+        return sorted(out)
+
+    def degree(self, op_id: int) -> int:
+        return len(self.neighbors(op_id))
+
+    def __len__(self) -> int:
+        """Number of edges (pairs with at least one combination)."""
+        return len(self._combinations)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"SchedulingGraph({self._block.name}: {len(self)} edges, "
+            f"{self.n_combinations()} combinations)"
+        ]
+        for (u, v), combos in sorted(self._combinations.items()):
+            dists = ", ".join(str(c.distance) for c in combos)
+            lines.append(f"  ({u}, {v}): [{dists}]")
+        return "\n".join(lines)

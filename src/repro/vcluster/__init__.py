@@ -1,0 +1,34 @@
+"""Virtual clusters and the Virtual Cluster Graph (Section 3.2 of the paper).
+
+A *virtual cluster* (VC) is a set of operations that must end up in the same
+physical cluster.  The *virtual cluster graph* (VCG) records which pairs of
+VCs are incompatible (must map to different physical clusters).  Scheduling
+decisions fuse VCs or mark them incompatible through the deduction process;
+the final mapping of VCs onto physical clusters is postponed to the end of
+scheduling and performed with a graph-colouring style assignment.
+
+Inter-cluster value transfers are represented by :class:`Communication`
+records: fully linked (FLC — producer and consumer known) or partially
+linked (PLC — one or both endpoints still open, Section 3.3.1).
+"""
+
+from repro.vcluster.vcg import VirtualClusterGraph, VCContradiction
+from repro.vcluster.mapping import (
+    greedy_coloring,
+    required_clusters_estimate,
+    has_clique_larger_than,
+    map_virtual_to_physical,
+)
+from repro.vcluster.communication import CommKind, Communication, CommunicationSet
+
+__all__ = [
+    "VirtualClusterGraph",
+    "VCContradiction",
+    "greedy_coloring",
+    "required_clusters_estimate",
+    "has_clique_larger_than",
+    "map_virtual_to_physical",
+    "CommKind",
+    "Communication",
+    "CommunicationSet",
+]

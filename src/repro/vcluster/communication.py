@@ -1,0 +1,157 @@
+"""Inter-cluster communications: fully and partially linked copies.
+
+A *fully linked communication* (FLC) moves one value from a known producer
+to a known consumer's cluster.  A *partially linked communication* (PLC,
+Section 3.3.1) reserves bus bandwidth and schedule space for a transfer that
+is already known to be necessary although its producer (P-PLC), its consumer
+(C-PLC) or both (PC-PLC) are still undetermined; rules 6 and 7 of the
+deduction process promote PLCs to FLCs as virtual clusters fuse or become
+incompatible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+
+class CommKind(enum.Enum):
+    """Linking state of a communication."""
+
+    FLC = "flc"
+    P_PLC = "p-plc"
+    C_PLC = "c-plc"
+    PC_PLC = "pc-plc"
+
+    @property
+    def is_partial(self) -> bool:
+        return self is not CommKind.FLC
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Communication:
+    """One inter-cluster value transfer.
+
+    Parameters
+    ----------
+    comm_id:
+        Identifier of the copy operation that implements the transfer; copy
+        operations get ids above all original operations of the block.
+    value:
+        The virtual register being moved (None for a PC-PLC whose value is
+        one of several alternatives).
+    producer / consumer:
+        Known endpoints; None when still undetermined (partial links).
+    alternatives:
+        For partial links, the producer/consumer pairs of which at least one
+        will need this transfer.
+    """
+
+    comm_id: int
+    value: Optional[str]
+    producer: Optional[int] = None
+    consumer: Optional[int] = None
+    alternatives: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def kind(self) -> CommKind:
+        if self.producer is not None and self.consumer is not None:
+            return CommKind.FLC
+        if self.producer is None and self.consumer is not None:
+            return CommKind.P_PLC
+        if self.producer is not None and self.consumer is None:
+            return CommKind.C_PLC
+        return CommKind.PC_PLC
+
+    @property
+    def is_fully_linked(self) -> bool:
+        return self.kind is CommKind.FLC
+
+    def possible_producers(self) -> List[int]:
+        if self.producer is not None:
+            return [self.producer]
+        return sorted({p for p, _ in self.alternatives})
+
+    def possible_consumers(self) -> List[int]:
+        if self.consumer is not None:
+            return [self.consumer]
+        return sorted({c for _, c in self.alternatives})
+
+    def resolved(self, producer: int, consumer: int, value: Optional[str] = None) -> "Communication":
+        """Return this communication promoted to an FLC."""
+        return replace(
+            self,
+            producer=producer,
+            consumer=consumer,
+            value=value if value is not None else self.value,
+            alternatives=(),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm#{self.comm_id}[{self.kind}] {self.value or '?'}: "
+            f"{self.producer if self.producer is not None else '?'} -> "
+            f"{self.consumer if self.consumer is not None else '?'}"
+        )
+
+
+class CommunicationSet:
+    """The communications created so far during scheduling of one block."""
+
+    def __init__(self) -> None:
+        self._comms: Dict[int, Communication] = {}
+
+    def add(self, comm: Communication) -> None:
+        if comm.comm_id in self._comms:
+            raise ValueError(f"duplicate communication id {comm.comm_id}")
+        self._comms[comm.comm_id] = comm
+
+    def replace(self, comm: Communication) -> None:
+        if comm.comm_id not in self._comms:
+            raise KeyError(f"unknown communication id {comm.comm_id}")
+        self._comms[comm.comm_id] = comm
+
+    def get(self, comm_id: int) -> Communication:
+        return self._comms[comm_id]
+
+    def __contains__(self, comm_id: int) -> bool:
+        return comm_id in self._comms
+
+    def __len__(self) -> int:
+        return len(self._comms)
+
+    def __iter__(self):
+        return iter(sorted(self._comms.values(), key=lambda c: c.comm_id))
+
+    def fully_linked(self) -> List[Communication]:
+        return [c for c in self if c.is_fully_linked]
+
+    def partially_linked(self) -> List[Communication]:
+        return [c for c in self if not c.is_fully_linked]
+
+    def for_pair(self, producer: int, consumer: int) -> Optional[Communication]:
+        """An existing FLC for the given producer/consumer pair, if any."""
+        for comm in self:
+            if comm.producer == producer and comm.consumer == consumer:
+                return comm
+        return None
+
+    def involving_pair(self, producer: int, consumer: int) -> List[Communication]:
+        """Communications (partial or full) that list the pair as a
+        possibility."""
+        out = []
+        for comm in self:
+            if comm.producer == producer and comm.consumer == consumer:
+                out.append(comm)
+            elif (producer, consumer) in comm.alternatives:
+                out.append(comm)
+        return out
+
+    def copy(self) -> "CommunicationSet":
+        clone = CommunicationSet()
+        clone._comms = dict(self._comms)
+        return clone

@@ -1,0 +1,126 @@
+"""Mapping virtual clusters onto physical clusters.
+
+The final mapping stage (Section 4.4.1.3) orders VCs by their degree in the
+incompatibility graph and assigns them greedily to physical clusters, in the
+style of Chaitin's register-allocation colouring.  The same colouring is used
+earlier in the algorithm to detect situations in which the VCG can no longer
+be mapped onto the target machine (a clique of incompatible VCs larger than
+the number of physical clusters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.vcluster.vcg import VirtualClusterGraph
+
+
+def _incompatibility_graph(vcg: VirtualClusterGraph) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(vcg.roots())
+    graph.add_edges_from(vcg.incompatibility_pairs())
+    return graph
+
+
+def greedy_coloring(vcg: VirtualClusterGraph) -> Dict[int, int]:
+    """Colour the VC incompatibility graph greedily, highest degree first.
+
+    Returns a mapping from VC root to colour index.  The number of colours
+    used is an upper bound on the number of physical clusters required by
+    the incompatibilities alone (ignoring pins).
+    """
+    order = sorted(
+        vcg.roots(),
+        key=lambda r: (-vcg.incompatibility_degree(r), r),
+    )
+    colors: Dict[int, int] = {}
+    for root in order:
+        neighbour_colors = {
+            colors[n] for n in vcg.incompatible_with(root) if n in colors
+        }
+        color = 0
+        while color in neighbour_colors:
+            color += 1
+        colors[root] = color
+    return colors
+
+
+def required_clusters_estimate(vcg: VirtualClusterGraph) -> int:
+    """Upper bound on physical clusters needed to honour incompatibilities."""
+    if vcg.n_vcs == 0:
+        return 0
+    colors = greedy_coloring(vcg)
+    return max(colors.values()) + 1
+
+
+def has_clique_larger_than(vcg: VirtualClusterGraph, n_clusters: int, exact_limit: int = 40) -> bool:
+    """Whether the incompatibility graph provably cannot be mapped.
+
+    For small graphs (at most *exact_limit* VCs) an exact maximum-clique
+    query is used; for larger graphs the greedy colouring gives a
+    conservative (may miss cliques, never false-positives via clique but the
+    colouring bound itself is what the scheduler acts on) estimate, exactly
+    as the paper resorts to a colouring scheme because the exact question is
+    NP-complete.
+    """
+    graph = _incompatibility_graph(vcg)
+    if graph.number_of_nodes() <= exact_limit:
+        clique_number = max((len(c) for c in nx.find_cliques(graph)), default=0)
+        return clique_number > n_clusters
+    return required_clusters_estimate(vcg) > n_clusters
+
+
+def map_virtual_to_physical(
+    vcg: VirtualClusterGraph,
+    n_clusters: int,
+    injective: bool = False,
+) -> Optional[Dict[int, int]]:
+    """Assign every VC to a physical cluster, or return None when impossible.
+
+    VCs are processed in decreasing incompatibility-degree order; each VC is
+    placed in the lowest-numbered physical cluster that no incompatible VC
+    occupies, honouring existing pins.  Returns a mapping from VC root to
+    physical cluster index.
+
+    With ``injective=True`` every VC gets its own physical cluster (used once
+    stage 4 has reduced the number of VCs to at most the number of clusters:
+    the deduction process has validated fusions, so sharing a cluster without
+    fusing would bypass its resource checks).
+    """
+    if n_clusters <= 0:
+        raise ValueError("machine must have at least one cluster")
+    assignment: Dict[int, int] = {}
+    # Pins go first so that the greedy pass respects them.
+    for root in vcg.roots():
+        pin = vcg.pin_of(root)
+        if pin is not None:
+            if pin >= n_clusters:
+                return None
+            assignment[root] = pin
+    if injective and len(set(assignment.values())) != len(assignment):
+        return None
+
+    order = sorted(
+        (r for r in vcg.roots() if r not in assignment),
+        key=lambda r: (-vcg.incompatibility_degree(r), r),
+    )
+    for root in order:
+        if injective:
+            forbidden = set(assignment.values())
+        else:
+            forbidden = {
+                assignment[n]
+                for n in vcg.incompatible_with(root)
+                if n in assignment
+            }
+        chosen = None
+        for pc in range(n_clusters):
+            if pc not in forbidden:
+                chosen = pc
+                break
+        if chosen is None:
+            return None
+        assignment[root] = chosen
+    return assignment

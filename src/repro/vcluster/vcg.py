@@ -1,0 +1,231 @@
+"""The Virtual Cluster Graph: fusion and incompatibility bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+class VCContradiction(Exception):
+    """A fusion/incompatibility request conflicts with the current VCG."""
+
+
+class VirtualClusterGraph:
+    """Tracks virtual clusters over a set of operations.
+
+    Every operation starts in its own virtual cluster.  Two kinds of updates
+    are possible, mirroring the paper's Section 3.2:
+
+    * ``fuse(u, v)``  — the operations' VCs must map to the *same* physical
+      cluster; the VCs are merged and incompatibility edges are re-pointed
+      at the merged VC.
+    * ``mark_incompatible(u, v)`` — the operations' VCs must map to
+      *different* physical clusters; an undirected edge is added between
+      them.
+
+    Requesting a fusion of incompatible VCs, or an incompatibility inside a
+    single VC, raises :class:`VCContradiction` — exactly the contradiction
+    case (c) of the deduction process.
+
+    VCs may also be *pinned* to a physical cluster (used by the final
+    mapping stage); fusing VCs pinned to different physical clusters is a
+    contradiction, as is marking two VCs pinned to the same physical cluster
+    incompatible.
+    """
+
+    def __init__(self, op_ids: Iterable[int] = ()) -> None:
+        self._parent: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+        self._edges: Dict[int, Set[int]] = {}
+        self._pins: Dict[int, int] = {}
+        for op_id in op_ids:
+            self.add(op_id)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def add(self, op_id: int) -> None:
+        if op_id not in self._parent:
+            self._parent[op_id] = op_id
+            self._size[op_id] = 1
+            self._edges[op_id] = set()
+
+    def __contains__(self, op_id: int) -> bool:
+        return op_id in self._parent
+
+    def vc_of(self, op_id: int) -> int:
+        """Representative (root) of the VC containing *op_id*."""
+        if op_id not in self._parent:
+            raise KeyError(f"unknown operation {op_id}")
+        root = op_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        node = op_id
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def same_vc(self, u: int, v: int) -> bool:
+        return self.vc_of(u) == self.vc_of(v)
+
+    def members(self, op_id: int) -> List[int]:
+        """All operations in the VC containing *op_id*."""
+        root = self.vc_of(op_id)
+        return sorted(o for o in self._parent if self.vc_of(o) == root)
+
+    def vcs(self) -> List[FrozenSet[int]]:
+        """All virtual clusters as frozensets of member operations."""
+        groups: Dict[int, Set[int]] = {}
+        for op_id in self._parent:
+            groups.setdefault(self.vc_of(op_id), set()).add(op_id)
+        return sorted((frozenset(g) for g in groups.values()), key=lambda s: min(s))
+
+    def roots(self) -> List[int]:
+        return sorted({self.vc_of(o) for o in self._parent})
+
+    @property
+    def n_vcs(self) -> int:
+        return len({self.vc_of(o) for o in self._parent})
+
+    # ------------------------------------------------------------------ #
+    # incompatibility edges
+    # ------------------------------------------------------------------ #
+    def are_incompatible(self, u: int, v: int) -> bool:
+        root_u, root_v = self.vc_of(u), self.vc_of(v)
+        return root_v in self._edges.get(root_u, ())
+
+    def incompatible_with(self, op_id: int) -> List[int]:
+        """Roots of VCs incompatible with the VC of *op_id*."""
+        return sorted(self._edges.get(self.vc_of(op_id), ()))
+
+    def incompatibility_degree(self, op_id: int) -> int:
+        return len(self._edges.get(self.vc_of(op_id), ()))
+
+    def n_incompatibilities(self) -> int:
+        return sum(len(edges) for edges in self._edges.values()) // 2
+
+    def incompatibility_pairs(self) -> List[Tuple[int, int]]:
+        """All incompatible root pairs, each reported once, sorted."""
+        pairs = set()
+        for root, edges in self._edges.items():
+            for other in edges:
+                pairs.add((root, other) if root < other else (other, root))
+        return sorted(pairs)
+
+    # ------------------------------------------------------------------ #
+    # pins
+    # ------------------------------------------------------------------ #
+    def pin(self, op_id: int, physical_cluster: int) -> bool:
+        """Pin the VC of *op_id* to *physical_cluster*.
+
+        Returns True when the pin is new, False when already pinned there;
+        raises :class:`VCContradiction` when pinned elsewhere or when an
+        incompatible VC is already pinned to the same physical cluster.
+        """
+        root = self.vc_of(op_id)
+        current = self._pins.get(root)
+        if current is not None:
+            if current != physical_cluster:
+                raise VCContradiction(
+                    f"VC of {op_id} already pinned to cluster {current}, "
+                    f"cannot pin to {physical_cluster}"
+                )
+            return False
+        for other in self._edges[root]:
+            if self._pins.get(other) == physical_cluster:
+                raise VCContradiction(
+                    f"VC of {op_id} is incompatible with a VC already pinned "
+                    f"to cluster {physical_cluster}"
+                )
+        self._pins[root] = physical_cluster
+        return True
+
+    def pin_of(self, op_id: int) -> Optional[int]:
+        return self._pins.get(self.vc_of(op_id))
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def fuse(self, u: int, v: int) -> bool:
+        """Merge the VCs of *u* and *v*.
+
+        Returns True when a merge happened, False when they already share a
+        VC.  Raises :class:`VCContradiction` when the VCs are incompatible
+        or pinned to different physical clusters.
+        """
+        root_u, root_v = self.vc_of(u), self.vc_of(v)
+        if root_u == root_v:
+            return False
+        if root_v in self._edges[root_u]:
+            raise VCContradiction(
+                f"cannot fuse VCs of {u} and {v}: they are incompatible"
+            )
+        pin_u, pin_v = self._pins.get(root_u), self._pins.get(root_v)
+        if pin_u is not None and pin_v is not None and pin_u != pin_v:
+            raise VCContradiction(
+                f"cannot fuse VCs of {u} and {v}: pinned to clusters {pin_u} and {pin_v}"
+            )
+        # Merge the smaller VC into the larger one.
+        if self._size[root_u] < self._size[root_v]:
+            root_u, root_v = root_v, root_u
+        self._parent[root_v] = root_u
+        self._size[root_u] += self._size[root_v]
+        # Re-point incompatibility edges of the absorbed VC.
+        for other in self._edges.pop(root_v):
+            self._edges[other].discard(root_v)
+            self._edges[other].add(root_u)
+            self._edges[root_u].add(other)
+        # Merge pins.
+        pin = pin_u if pin_u is not None else pin_v
+        self._pins.pop(root_v, None)
+        if pin is not None:
+            self._pins[root_u] = pin
+            for other in self._edges[root_u]:
+                if self._pins.get(other) == pin:
+                    raise VCContradiction(
+                        f"fusing VCs of {u} and {v} collides with a VC pinned to cluster {pin}"
+                    )
+        return True
+
+    def mark_incompatible(self, u: int, v: int) -> bool:
+        """Record that the VCs of *u* and *v* must map to different PCs.
+
+        Returns True when the edge is new.  Raises :class:`VCContradiction`
+        when *u* and *v* are in the same VC or both pinned to one cluster.
+        """
+        root_u, root_v = self.vc_of(u), self.vc_of(v)
+        if root_u == root_v:
+            raise VCContradiction(
+                f"cannot mark {u} and {v} incompatible: they share a VC"
+            )
+        pin_u, pin_v = self._pins.get(root_u), self._pins.get(root_v)
+        if pin_u is not None and pin_u == pin_v:
+            raise VCContradiction(
+                f"cannot mark {u} and {v} incompatible: both pinned to cluster {pin_u}"
+            )
+        if root_v in self._edges[root_u]:
+            return False
+        self._edges[root_u].add(root_v)
+        self._edges[root_v].add(root_u)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "VirtualClusterGraph":
+        clone = VirtualClusterGraph()
+        clone._parent = dict(self._parent)
+        clone._size = dict(self._size)
+        clone._edges = {k: set(v) for k, v in self._edges.items()}
+        clone._pins = dict(self._pins)
+        return clone
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for vc in self.vcs():
+            members = ",".join(str(m) for m in sorted(vc))
+            parts.append("{" + members + "}")
+        return (
+            f"VCG({self.n_vcs} VCs, {self.n_incompatibilities()} incompatibilities): "
+            + " ".join(parts)
+        )

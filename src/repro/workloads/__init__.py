@@ -1,0 +1,54 @@
+"""Workloads: synthetic superblock suites standing in for IMPACT output.
+
+The paper evaluates on more than 60 000 superblocks extracted by the IMPACT
+compiler from 7 SpecInt95 and 7 MediaBench applications.  Neither IMPACT nor
+those binaries are available here, so this package generates *synthetic*
+superblock populations whose structural statistics (block size, instruction
+mix, available ILP, branchiness, exit probabilities, execution-count skew)
+are parameterised per benchmark to follow the qualitative differences the
+paper relies on: media kernels are wide and regular, SpecInt blocks are
+narrower and branchier.  All generation is seeded and deterministic.
+"""
+
+from repro.workloads.synth import GeneratorConfig, SuperblockGenerator
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    SPECINT_PROFILES,
+    MEDIABENCH_PROFILES,
+    all_profiles,
+    profile_by_name,
+)
+from repro.workloads.suite import (
+    BenchmarkWorkload,
+    build_benchmark,
+    build_suite,
+    train_variant,
+)
+from repro.workloads.kernels import (
+    fir_kernel,
+    dot_product_kernel,
+    dct_butterfly_kernel,
+    string_search_kernel,
+    paper_figure1_block,
+    all_kernels,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SuperblockGenerator",
+    "BenchmarkProfile",
+    "SPECINT_PROFILES",
+    "MEDIABENCH_PROFILES",
+    "all_profiles",
+    "profile_by_name",
+    "BenchmarkWorkload",
+    "build_benchmark",
+    "build_suite",
+    "train_variant",
+    "fir_kernel",
+    "dot_product_kernel",
+    "dct_butterfly_kernel",
+    "string_search_kernel",
+    "paper_figure1_block",
+    "all_kernels",
+]

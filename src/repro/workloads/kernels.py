@@ -1,0 +1,139 @@
+"""Hand-written superblocks: small kernels and the paper's running example.
+
+These blocks are used by the examples, the unit tests and the worked-example
+benchmark.  They are deliberately small so their optimal schedules can be
+reasoned about by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.operation import OpClass
+from repro.ir.superblock import Superblock
+
+
+def paper_figure1_block(execution_count: int = 100) -> Superblock:
+    """The superblock of the paper's Figure 1 / Section 5 worked example.
+
+    Seven operations: I0 feeding I1, I2 and I3; I3 feeding the 0.3-probability
+    exit B0; I1 and I2 feeding I4, which feeds the final exit B1 (probability
+    0.7); I4 is control dependent on B0.  Non-branch operations take 2 cycles
+    and branches 3, as in the paper.
+    """
+    b = SuperblockBuilder("paper/fig1")
+    b.add_op("add", OpClass.INT, dests=["v0"], latency=2)
+    b.add_op("add", OpClass.INT, dests=["v1"], srcs=["v0"], latency=2)
+    b.add_op("add", OpClass.INT, dests=["v2"], srcs=["v0"], latency=2)
+    b.add_op("add", OpClass.INT, dests=["v3"], srcs=["v0"], latency=2)
+    b.add_exit(probability=0.3, srcs=["v3"], latency=3)
+    b.add_op("add", OpClass.INT, dests=["v4"], srcs=["v1", "v2"], latency=2, speculative=False)
+    b.add_exit(probability=0.7, srcs=["v4"], latency=3)
+    return b.build(execution_count=execution_count)
+
+
+def fir_kernel(taps: int = 4, execution_count: int = 1000) -> Superblock:
+    """An unrolled FIR filter tap loop body: loads, multiplies, an add chain
+    and a loop-back branch — the archetypal MediaBench-style block."""
+    if taps < 2:
+        raise ValueError("a FIR kernel needs at least two taps")
+    b = SuperblockBuilder(f"kernel/fir{taps}")
+    acc = None
+    for i in range(taps):
+        sample = f"x{i}"
+        coeff = f"c{i}"
+        b.add_op("load", OpClass.MEM, dests=[sample], srcs=["ptr"], latency=2)
+        b.add_op("load", OpClass.MEM, dests=[coeff], srcs=["coefs"], latency=2)
+        prod = f"p{i}"
+        b.add_op("fmul", OpClass.FP, dests=[prod], srcs=[sample, coeff], latency=3)
+        if acc is None:
+            acc = prod
+        else:
+            new_acc = f"acc{i}"
+            b.add_op("fadd", OpClass.FP, dests=[new_acc], srcs=[acc, prod], latency=3)
+            acc = new_acc
+    b.add_op("store", OpClass.MEM, dests=[], srcs=[acc], latency=2)
+    b.add_op("add", OpClass.INT, dests=["i"], srcs=["i0"], latency=1)
+    b.add_exit(probability=1.0, srcs=["i"], latency=1)
+    b.mark_live_out(acc)
+    return b.build(execution_count=execution_count)
+
+
+def dot_product_kernel(width: int = 4, execution_count: int = 500) -> Superblock:
+    """An unrolled integer dot-product body with a reduction tree."""
+    b = SuperblockBuilder(f"kernel/dot{width}")
+    partials: List[str] = []
+    for i in range(width):
+        a, c = f"a{i}", f"b{i}"
+        b.add_op("load", OpClass.MEM, dests=[a], srcs=["pa"], latency=2)
+        b.add_op("load", OpClass.MEM, dests=[c], srcs=["pb"], latency=2)
+        p = f"m{i}"
+        b.add_op("mul", OpClass.INT, dests=[p], srcs=[a, c], latency=2)
+        partials.append(p)
+    # Reduction tree.
+    level = 0
+    while len(partials) > 1:
+        next_level = []
+        for i in range(0, len(partials) - 1, 2):
+            s = f"s{level}_{i}"
+            b.add_op("add", OpClass.INT, dests=[s], srcs=[partials[i], partials[i + 1]], latency=1)
+            next_level.append(s)
+        if len(partials) % 2:
+            next_level.append(partials[-1])
+        partials = next_level
+        level += 1
+    b.add_op("add", OpClass.INT, dests=["sum"], srcs=[partials[0], "sum0"], latency=1)
+    b.add_exit(probability=1.0, srcs=["sum"], latency=1)
+    b.mark_live_out("sum")
+    return b.build(execution_count=execution_count)
+
+
+def dct_butterfly_kernel(execution_count: int = 800) -> Superblock:
+    """A pair of DCT butterfly stages: wide, regular, communication hungry."""
+    b = SuperblockBuilder("kernel/dct")
+    for i in range(4):
+        b.add_op("load", OpClass.MEM, dests=[f"x{i}"], srcs=["src"], latency=2)
+    b.add_op("add", OpClass.INT, dests=["t0"], srcs=["x0", "x3"], latency=1)
+    b.add_op("sub", OpClass.INT, dests=["t1"], srcs=["x0", "x3"], latency=1)
+    b.add_op("add", OpClass.INT, dests=["t2"], srcs=["x1", "x2"], latency=1)
+    b.add_op("sub", OpClass.INT, dests=["t3"], srcs=["x1", "x2"], latency=1)
+    b.add_op("add", OpClass.INT, dests=["y0"], srcs=["t0", "t2"], latency=1)
+    b.add_op("sub", OpClass.INT, dests=["y2"], srcs=["t0", "t2"], latency=1)
+    b.add_op("mul", OpClass.INT, dests=["y1"], srcs=["t1", "c1"], latency=2)
+    b.add_op("mul", OpClass.INT, dests=["y3"], srcs=["t3", "c3"], latency=2)
+    for i in range(4):
+        b.add_op("store", OpClass.MEM, dests=[], srcs=[f"y{i}"], latency=2)
+    b.add_op("add", OpClass.INT, dests=["row"], srcs=["row0"], latency=1)
+    b.add_exit(probability=1.0, srcs=["row"], latency=1)
+    return b.build(execution_count=execution_count)
+
+
+def string_search_kernel(execution_count: int = 300) -> Superblock:
+    """A branchy SpecInt-style block: character compares with early exits."""
+    b = SuperblockBuilder("kernel/strsearch")
+    b.add_op("load", OpClass.MEM, dests=["ch0"], srcs=["sptr"], latency=2)
+    b.add_op("load", OpClass.MEM, dests=["pat0"], srcs=["pptr"], latency=2)
+    b.add_op("sub", OpClass.INT, dests=["d0"], srcs=["ch0", "pat0"], latency=1)
+    b.add_exit(probability=0.45, srcs=["d0"], latency=1)
+    b.add_op("load", OpClass.MEM, dests=["ch1"], srcs=["sptr"], latency=2)
+    b.add_op("load", OpClass.MEM, dests=["pat1"], srcs=["pptr"], latency=2)
+    b.add_op("sub", OpClass.INT, dests=["d1"], srcs=["ch1", "pat1"], latency=1)
+    b.add_exit(probability=0.30, srcs=["d1"], latency=1)
+    b.add_op("add", OpClass.INT, dests=["sptr2"], srcs=["sptr"], latency=1)
+    b.add_op("add", OpClass.INT, dests=["pptr2"], srcs=["pptr"], latency=1)
+    b.add_op("and", OpClass.INT, dests=["cond"], srcs=["sptr2", "len"], latency=1)
+    b.add_exit(probability=0.25, srcs=["cond"], latency=1)
+    b.mark_live_out("sptr2", "pptr2")
+    return b.build(execution_count=execution_count)
+
+
+def all_kernels() -> Dict[str, Superblock]:
+    """All hand-written kernels keyed by a short name."""
+    return {
+        "fig1": paper_figure1_block(),
+        "fir": fir_kernel(),
+        "dot": dot_product_kernel(),
+        "dct": dct_butterfly_kernel(),
+        "strsearch": string_search_kernel(),
+    }

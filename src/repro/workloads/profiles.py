@@ -1,0 +1,108 @@
+"""Per-benchmark generator profiles for the 14 evaluated applications.
+
+The paper uses 7 SpecInt95 and 7 MediaBench applications.  Each profile
+below parameterises the synthetic superblock generator so that the resulting
+population has the qualitative character the paper's discussion relies on:
+
+* SpecInt codes (go, m88ksim, compress, li, ijpeg, perl, vortex) — smaller,
+  branchier blocks with modest ILP; ijpeg is the most media-like of them.
+* MediaBench codes (epic, g721, mpeg2, rasta) — larger blocks, wider ILP,
+  more memory and floating-point operations, fewer side exits.
+
+The ``weight`` field skews how many of an application's dynamic cycles come
+from its hottest blocks, controlling how much a few hard blocks matter
+(relevant for the compile-time-threshold experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.workloads.synth import GeneratorConfig
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generation profile of one application."""
+
+    name: str
+    suite: str  # "specint" or "mediabench"
+    generator: GeneratorConfig
+    n_blocks: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("specint", "mediabench"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if self.n_blocks <= 0:
+            raise ValueError("a benchmark needs at least one block")
+
+    def scaled(self, n_blocks: int) -> "BenchmarkProfile":
+        """A copy of the profile with a different population size."""
+        return replace(self, n_blocks=n_blocks)
+
+
+def _spec(name: str, seed: int, **overrides) -> BenchmarkProfile:
+    base = dict(
+        min_ops=6,
+        max_ops=18,
+        ilp=2.0,
+        mem_fraction=0.28,
+        fp_fraction=0.02,
+        exit_every=5,
+        exit_probability=0.15,
+        execution_count_mean=150.0,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(name=name, suite="specint", generator=GeneratorConfig(**base), seed=seed)
+
+
+def _media(name: str, seed: int, **overrides) -> BenchmarkProfile:
+    base = dict(
+        min_ops=10,
+        max_ops=30,
+        ilp=3.5,
+        mem_fraction=0.32,
+        fp_fraction=0.10,
+        exit_every=10,
+        exit_probability=0.08,
+        execution_count_mean=400.0,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(name=name, suite="mediabench", generator=GeneratorConfig(**base), seed=seed)
+
+
+#: The seven SpecInt95 applications of the paper's evaluation.
+SPECINT_PROFILES: List[BenchmarkProfile] = [
+    _spec("099.go", seed=11, ilp=2.6, min_ops=8, max_ops=22, exit_every=6),
+    _spec("124.m88ksim", seed=12, ilp=1.8, max_ops=16),
+    _spec("129.compress", seed=13, ilp=2.4, mem_fraction=0.35, max_ops=20),
+    _spec("130.li", seed=14, ilp=1.9, min_ops=5, max_ops=14, exit_every=4),
+    _spec("132.ijpeg", seed=15, ilp=3.2, min_ops=10, max_ops=26, fp_fraction=0.04, exit_every=8),
+    _spec("134.perl", seed=16, ilp=2.2, max_ops=20),
+    _spec("147.vortex", seed=17, ilp=2.0, min_ops=8, max_ops=24, mem_fraction=0.38),
+]
+
+#: The seven MediaBench applications of the paper's evaluation.
+MEDIABENCH_PROFILES: List[BenchmarkProfile] = [
+    _media("epicdec", seed=21, ilp=3.8, max_ops=26),
+    _media("epicenc", seed=22, ilp=3.6, max_ops=28, fp_fraction=0.14),
+    _media("g721dec", seed=23, ilp=2.6, min_ops=8, max_ops=20, fp_fraction=0.02),
+    _media("g721enc", seed=24, ilp=2.6, min_ops=8, max_ops=22, fp_fraction=0.02),
+    _media("mpeg2dec", seed=25, ilp=4.0, min_ops=12, max_ops=30),
+    _media("mpeg2enc", seed=26, ilp=4.2, min_ops=12, max_ops=32, mem_fraction=0.36),
+    _media("rasta", seed=27, ilp=3.0, fp_fraction=0.20, max_ops=24),
+]
+
+
+def all_profiles() -> List[BenchmarkProfile]:
+    """The 14 profiles in the paper's presentation order (SpecInt then Media)."""
+    return list(SPECINT_PROFILES) + list(MEDIABENCH_PROFILES)
+
+
+def profile_by_name(name: str) -> BenchmarkProfile:
+    for profile in all_profiles():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown benchmark {name!r}")

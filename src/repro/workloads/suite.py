@@ -1,0 +1,94 @@
+"""Building whole-benchmark workloads and their profiling variants.
+
+A :class:`BenchmarkWorkload` is the unit the evaluation harness operates on:
+the named application, its superblocks (with ``ref``-profile exit
+probabilities and execution counts), and helpers to derive the ``train``
+profiling variant used by the cross-input experiment (Figure 12).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ir.superblock import Superblock
+from repro.workloads.profiles import BenchmarkProfile, all_profiles
+from repro.workloads.synth import SuperblockGenerator
+
+
+@dataclass
+class BenchmarkWorkload:
+    """One application's superblock population."""
+
+    profile: BenchmarkProfile
+    blocks: List[Superblock]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def suite(self) -> str:
+        return self.profile.suite
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(block.size for block in self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+
+def build_benchmark(
+    profile: BenchmarkProfile,
+    n_blocks: Optional[int] = None,
+) -> BenchmarkWorkload:
+    """Generate the superblock population of one application (ref profile)."""
+    count = n_blocks if n_blocks is not None else profile.n_blocks
+    generator = SuperblockGenerator(profile.generator, seed=profile.seed)
+    blocks = generator.generate_many(profile.name, count)
+    return BenchmarkWorkload(profile=profile, blocks=blocks)
+
+
+def build_suite(
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+    blocks_per_benchmark: Optional[int] = None,
+) -> List[BenchmarkWorkload]:
+    """Generate the full evaluation workload (all 14 applications by default)."""
+    chosen = list(profiles) if profiles is not None else all_profiles()
+    return [build_benchmark(p, blocks_per_benchmark) for p in chosen]
+
+
+def train_variant(workload: BenchmarkWorkload, noise: float = 0.35, seed: int = 1) -> BenchmarkWorkload:
+    """The ``train``-input profiling variant of a workload.
+
+    Exit probabilities are perturbed multiplicatively and renormalised, and
+    execution counts are redrawn around the original values, modelling a
+    different profiling input.  The dependence graphs are untouched: only
+    profile information differs, which is exactly the situation of the
+    paper's Figure 12 (schedule with one input's profile, run with another).
+    """
+    rng = random.Random(f"{seed}|{workload.name}|train")
+    perturbed: List[Superblock] = []
+    for block in workload.blocks:
+        new_probs: Dict[int, float] = {}
+        raw = []
+        for exit_info in block.exits:
+            factor = max(0.05, rng.gauss(1.0, noise))
+            raw.append((exit_info.op_id, exit_info.probability * factor))
+        total = sum(p for _, p in raw)
+        if total <= 0:
+            total = 1.0
+        for op_id, p in raw:
+            new_probs[op_id] = p / total
+        variant = block.with_exit_probabilities(new_probs)
+        variant.execution_count = max(
+            1, int(round(block.execution_count * max(0.1, rng.gauss(1.0, noise))))
+        )
+        perturbed.append(variant)
+    return BenchmarkWorkload(profile=workload.profile, blocks=perturbed)

@@ -1,0 +1,209 @@
+"""Seeded generation of synthetic superblocks.
+
+A superblock is generated as a layered DAG: operations are emitted in
+program order, each reading one or two previously defined values (biased
+towards recent ones, with the bias controlling the available ILP), with a
+configurable mix of integer, floating-point and memory operations.  Exits
+are inserted at roughly regular intervals with decreasing taken
+probabilities, mimicking the hot-path structure superblock formation
+produces; the final operation is the unconditional jump that closes the
+block.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.operation import OpClass
+from repro.ir.superblock import Superblock
+from repro.ir.validate import validate_superblock
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the synthetic superblock generator.
+
+    Parameters
+    ----------
+    min_ops / max_ops:
+        Range of non-branch operations per block.
+    ilp:
+        Controls how far back operand references reach: higher values mean a
+        flatter, wider dependence graph (more instruction-level parallelism).
+        Roughly the expected number of independent chains.
+    mem_fraction / fp_fraction:
+        Fraction of non-branch operations that are memory / floating-point.
+    store_fraction:
+        Fraction of memory operations that are stores.
+    exit_every:
+        Average number of non-branch operations between side exits.
+    exit_probability:
+        Average probability mass given to each side exit (the final jump
+        takes the remainder).
+    live_in_values:
+        Number of values live on entry that early operations may read.
+    execution_count_mean:
+        Mean of the (log-normal-ish) execution count distribution.
+    int_latency / fp_latency / mem_latency / branch_latency:
+        Operation latencies used for the generated code.
+    """
+
+    min_ops: int = 8
+    max_ops: int = 24
+    ilp: float = 2.5
+    mem_fraction: float = 0.25
+    fp_fraction: float = 0.05
+    store_fraction: float = 0.3
+    exit_every: int = 8
+    exit_probability: float = 0.12
+    live_in_values: int = 4
+    execution_count_mean: float = 200.0
+    int_latency: int = 1
+    fp_latency: int = 3
+    mem_latency: int = 2
+    branch_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_ops < 2 or self.max_ops < self.min_ops:
+            raise ValueError("invalid operation count range")
+        if not (0.0 <= self.mem_fraction <= 1.0 and 0.0 <= self.fp_fraction <= 1.0):
+            raise ValueError("class fractions must be within [0, 1]")
+        if self.mem_fraction + self.fp_fraction > 1.0:
+            raise ValueError("mem_fraction + fp_fraction must not exceed 1")
+        if self.ilp <= 0:
+            raise ValueError("ilp must be positive")
+
+
+class SuperblockGenerator:
+    """Deterministic generator of synthetic superblocks."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 0) -> None:
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def generate(self, name: str, index: int = 0) -> Superblock:
+        """Generate one superblock; ``(seed, name, index)`` fully determine it."""
+        rng = random.Random(f"{self.seed}|{name}|{index}")
+        block = self._generate_with_rng(name, rng)
+        validate_superblock(block)
+        return block
+
+    def generate_many(self, base_name: str, count: int) -> List[Superblock]:
+        """Generate *count* superblocks named ``{base_name}/sb_{i:04d}``."""
+        return [self.generate(f"{base_name}/sb_{i:04d}", index=i) for i in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def _generate_with_rng(self, name: str, rng: random.Random) -> Superblock:
+        cfg = self.config
+        n_ops = rng.randint(cfg.min_ops, cfg.max_ops)
+        builder = SuperblockBuilder(name)
+
+        live_ins = [f"in{i}" for i in range(cfg.live_in_values)]
+        available: List[str] = list(live_ins)
+        remaining_exit_mass = 1.0
+        ops_since_exit = 0
+
+        for position in range(n_ops):
+            op_class = self._pick_class(rng)
+            latency, opcode = self._latency_and_opcode(op_class, rng)
+            srcs = self._pick_sources(rng, available, op_class)
+            dests: Tuple[str, ...]
+            if op_class is OpClass.MEM and rng.random() < cfg.store_fraction:
+                dests = ()
+                opcode = "store"
+            else:
+                dests = (f"v{position}",)
+            builder.add_op(
+                opcode,
+                op_class,
+                dests=dests,
+                srcs=srcs,
+                latency=latency,
+                speculative=(opcode != "store"),
+            )
+            for dest in dests:
+                available.append(dest)
+            ops_since_exit += 1
+
+            # Insert a side exit once enough operations accumulated.
+            if (
+                position < n_ops - 1
+                and ops_since_exit >= cfg.exit_every
+                and remaining_exit_mass > 0.05
+            ):
+                probability = min(
+                    remaining_exit_mass * 0.9,
+                    max(0.01, rng.gauss(cfg.exit_probability, cfg.exit_probability / 3)),
+                )
+                exit_srcs = self._pick_sources(rng, available, OpClass.BRANCH)
+                builder.add_exit(
+                    probability=round(probability, 4),
+                    srcs=exit_srcs,
+                    latency=cfg.branch_latency,
+                )
+                remaining_exit_mass -= round(probability, 4)
+                ops_since_exit = 0
+
+        # Final jump consuming a recently produced value, taking the rest of
+        # the probability mass (handled by the builder).
+        final_srcs = self._pick_sources(rng, available, OpClass.BRANCH)
+        builder.add_exit(
+            probability=round(max(remaining_exit_mass, 0.0), 4),
+            srcs=final_srcs,
+            latency=cfg.branch_latency,
+        )
+        execution_count = self._execution_count(rng)
+        live_outs = rng.sample(available, k=min(2, len(available)))
+        builder.mark_live_out(*live_outs)
+        return builder.build(execution_count=execution_count, final_exit_probability=None)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _pick_class(self, rng: random.Random) -> OpClass:
+        cfg = self.config
+        draw = rng.random()
+        if draw < cfg.mem_fraction:
+            return OpClass.MEM
+        if draw < cfg.mem_fraction + cfg.fp_fraction:
+            return OpClass.FP
+        return OpClass.INT
+
+    def _latency_and_opcode(self, op_class: OpClass, rng: random.Random) -> Tuple[int, str]:
+        cfg = self.config
+        if op_class is OpClass.MEM:
+            return cfg.mem_latency, "load"
+        if op_class is OpClass.FP:
+            return cfg.fp_latency, rng.choice(["fmul", "fadd"])
+        return cfg.int_latency, rng.choice(["add", "sub", "and", "shl", "mul"])
+
+    def _pick_sources(
+        self, rng: random.Random, available: Sequence[str], op_class: OpClass
+    ) -> Tuple[str, ...]:
+        if not available:
+            return ()
+        n_srcs = 1 if op_class is OpClass.BRANCH else rng.choice([1, 2, 2])
+        window = max(1, int(round(self.config.ilp * 2)))
+        recent = list(available[-window:])
+        srcs = []
+        for _ in range(n_srcs):
+            # Bias towards recent values; occasionally reach far back, which
+            # lengthens dependence chains and lowers ILP.
+            if rng.random() < 0.8 or len(available) <= window:
+                srcs.append(rng.choice(recent))
+            else:
+                srcs.append(rng.choice(list(available)))
+        return tuple(dict.fromkeys(srcs))
+
+    def _execution_count(self, rng: random.Random) -> int:
+        mean = self.config.execution_count_mean
+        value = rng.lognormvariate(0.0, 1.0) * mean
+        return max(1, int(round(value)))

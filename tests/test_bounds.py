@@ -1,0 +1,190 @@
+"""Unit tests for estart/lstart computation, AWCT and the bound enumerator."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    ExitBoundEnumerator,
+    awct,
+    awct_from_schedule_cycles,
+    compute_bounds,
+    compute_estart,
+    compute_lstart,
+    min_awct,
+    min_exit_cycles,
+    total_cycles,
+)
+from repro.bounds.estart import INFINITY
+from repro.machine import example_1cluster_fig4, example_2cluster, paper_2c_8i_1lat
+from repro.workloads import paper_figure1_block
+
+from tests.helpers import linear_chain_block, two_exit_block, wide_block
+
+
+class TestEstartLstart:
+    def test_estart_linear_chain(self):
+        block = linear_chain_block(length=3, latency=2)
+        estart = compute_estart(block.graph)
+        assert estart[0] == 0
+        assert estart[1] == 2
+        assert estart[2] == 4
+
+    def test_estart_paper_example(self):
+        block = paper_figure1_block()
+        estart = compute_estart(block.graph)
+        # Matches Figure 4: I0=0, I1..I3=2, B0=4, I4=4, B1=6.
+        assert estart[0] == 0
+        assert estart[1] == estart[2] == estart[3] == 2
+        assert estart[4] == 4
+        assert estart[5] == 4
+        assert estart[6] == 6
+
+    def test_lstart_from_exit_bounds(self):
+        block = paper_figure1_block()
+        exits = block.exit_ids
+        lstart = compute_lstart(block.graph, {exits[0]: 4, exits[1]: 6})
+        assert lstart[exits[0]] == 4
+        assert lstart[exits[1]] == 6
+        assert lstart[0] == 0  # I0 on the critical path
+
+    def test_lstart_unconstrained_ops_get_default(self):
+        block = two_exit_block()
+        exits = block.exit_ids
+        lstart = compute_lstart(block.graph, {exits[1]: 9})
+        # Every op gets a finite bound (default: the max exit bound).
+        assert all(v != INFINITY for v in lstart.values())
+
+    def test_bounds_and_slack(self):
+        block = paper_figure1_block()
+        exits = block.exit_ids
+        bounds = compute_bounds(block, {exits[0]: 5, exits[1]: 7})
+        assert bounds.slack(0) == 1
+        assert not bounds.is_contradictory()
+        tight = compute_bounds(block, {exits[0]: 3, exits[1]: 5})
+        assert tight.is_contradictory()
+
+    def test_bounds_copy_independent(self):
+        block = paper_figure1_block()
+        bounds = compute_bounds(block, {block.exit_ids[0]: 5, block.exit_ids[1]: 7})
+        clone = bounds.copy()
+        clone.estart[0] = 99
+        assert bounds.estart[0] == 0
+
+
+class TestAwct:
+    def test_paper_example_value(self):
+        block = paper_figure1_block()
+        exits = block.exit_ids
+        # Paper Section 2.2: B0 in cycle 4, B1 in cycle 6 -> AWCT = 8.4.
+        assert awct(block, {exits[0]: 4, exits[1]: 6}) == pytest.approx(8.4)
+
+    def test_awct_requires_all_exits(self):
+        block = paper_figure1_block()
+        with pytest.raises(KeyError):
+            awct(block, {block.exit_ids[0]: 4})
+
+    def test_awct_from_schedule_cycles(self):
+        block = two_exit_block()
+        cycles = {op.op_id: i for i, op in enumerate(block.operations)}
+        value = awct_from_schedule_cycles(block, cycles)
+        manual = sum(
+            (cycles[e.op_id] + block.op(e.op_id).latency) * e.probability
+            for e in block.exits
+        )
+        assert value == pytest.approx(manual)
+
+    def test_min_awct_dependence_only_vs_machine(self):
+        block = paper_figure1_block()
+        dependence_only = min_awct(block)
+        with_machine = min_awct(block, example_1cluster_fig4())
+        assert with_machine >= dependence_only
+        assert dependence_only == pytest.approx(8.4)
+
+    def test_min_exit_cycles_machine_bound_dominates_dependences(self):
+        block = wide_block(width=4, latency=1)
+        machine = example_1cluster_fig4()
+        with_machine = min_exit_cycles(block, machine)
+        dependence_only = min_exit_cycles(block)
+        for exit_id in block.exit_ids:
+            assert with_machine[exit_id] >= dependence_only[exit_id]
+
+    def test_min_exit_cycles_resource_bound(self):
+        # Five independent latency-1 INT operations all feeding the exit: the
+        # dependence bound alone allows the exit in cycle 1, but issuing five
+        # INT operations at two per cycle needs three cycles, so the exit
+        # cannot issue before cycle 2.
+        from repro.ir import OpClass, SuperblockBuilder
+
+        builder = SuperblockBuilder("wide5")
+        values = []
+        for i in range(5):
+            builder.add_op("add", OpClass.INT, dests=[f"v{i}"], srcs=[f"in{i}"], latency=1)
+            values.append(f"v{i}")
+        builder.add_exit(probability=1.0, srcs=values, latency=1)
+        block = builder.build()
+        machine = example_1cluster_fig4()
+        cycles = min_exit_cycles(block, machine)
+        assert cycles[block.exit_ids[0]] >= 2
+
+    def test_total_cycles(self):
+        block = two_exit_block()
+        assert total_cycles([(block, 10.0)]) == pytest.approx(10.0 * block.execution_count)
+
+
+class TestExitBoundEnumerator:
+    def test_awct_is_non_decreasing(self):
+        block = paper_figure1_block()
+        enumerator = ExitBoundEnumerator(block, example_2cluster())
+        targets = enumerator.targets(20)
+        values = [t.awct for t in targets]
+        assert values == sorted(values)
+        assert len(targets) == 20
+
+    def test_first_target_is_min_exit_cycles(self):
+        block = paper_figure1_block()
+        machine = example_2cluster()
+        enumerator = ExitBoundEnumerator(block, machine)
+        first = next(iter(enumerator))
+        assert first.exit_cycles == min_exit_cycles(block, machine)
+
+    def test_targets_are_unique(self):
+        block = two_exit_block()
+        enumerator = ExitBoundEnumerator(block, paper_2c_8i_1lat())
+        seen = set()
+        for target in enumerator.targets(30):
+            key = tuple(sorted(target.exit_cycles.items()))
+            assert key not in seen
+            seen.add(key)
+
+    def test_every_exit_is_eventually_relaxed(self):
+        block = two_exit_block()
+        enumerator = ExitBoundEnumerator(block, paper_2c_8i_1lat())
+        targets = enumerator.targets(40)
+        start = targets[0].exit_cycles
+        last = targets[-1].exit_cycles
+        # Best-first enumeration explores relaxations of every exit, so the
+        # maximum over targets exceeds the start for each exit.
+        for exit_id in block.exit_ids:
+            assert max(t.exit_cycles[exit_id] for t in targets) > start[exit_id]
+
+    def test_inter_exit_distances_respected(self):
+        block = two_exit_block()
+        first, second = block.exit_ids
+        distance = block.graph.min_distance(first, second) or 0
+        enumerator = ExitBoundEnumerator(block, paper_2c_8i_1lat())
+        for target in enumerator.targets(25):
+            assert target.exit_cycles[second] >= target.exit_cycles[first] + distance
+
+    def test_initial_cycles_override(self):
+        block = paper_figure1_block()
+        enumerator = ExitBoundEnumerator(
+            block, example_2cluster(), initial_cycles={block.exit_ids[0]: 4, block.exit_ids[1]: 7}
+        )
+        first = next(iter(enumerator))
+        assert first.exit_cycles[block.exit_ids[1]] == 7
+
+    def test_max_steps_limits_iteration(self):
+        block = two_exit_block()
+        enumerator = ExitBoundEnumerator(block, paper_2c_8i_1lat(), max_steps=5)
+        assert len(list(enumerator)) == 5

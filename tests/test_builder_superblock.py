@@ -1,0 +1,172 @@
+"""Unit tests for SuperblockBuilder, Superblock and validation."""
+
+import pytest
+
+from repro.ir import (
+    DepKind,
+    OpClass,
+    SuperblockBuilder,
+    ValidationError,
+    validate_superblock,
+)
+from repro.workloads import paper_figure1_block
+
+from tests.helpers import linear_chain_block, two_exit_block, wide_block
+
+
+class TestBuilderDependences:
+    def test_flow_dependence_created(self):
+        b = SuperblockBuilder("t")
+        p = b.add_op("add", OpClass.INT, dests=["x"])
+        c = b.add_op("add", OpClass.INT, dests=["y"], srcs=["x"])
+        edge = b.graph.edge(p, c)
+        assert edge is not None
+        assert edge.kind is DepKind.DATA
+        assert edge.value == "x"
+
+    def test_live_in_recorded_for_undefined_source(self):
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"], srcs=["outside"])
+        block = b.build()
+        assert "outside" in block.live_ins
+
+    def test_anti_dependence_on_redefinition(self):
+        b = SuperblockBuilder("t")
+        first = b.add_op("add", OpClass.INT, dests=["x"])
+        user = b.add_op("add", OpClass.INT, dests=["y"], srcs=["x"])
+        second = b.add_op("add", OpClass.INT, dests=["x"])
+        assert b.graph.edge(user, second) is not None
+        assert b.graph.edge(first, second) is not None
+
+    def test_store_ordering(self):
+        b = SuperblockBuilder("t")
+        store1 = b.add_op("store", OpClass.MEM, dests=[], srcs=["a"])
+        load = b.add_op("load", OpClass.MEM, dests=["x"], srcs=["p"])
+        store2 = b.add_op("store", OpClass.MEM, dests=[], srcs=["x"])
+        assert b.graph.edge(store1, load) is not None
+        assert b.graph.edge(load, store2) is not None
+        assert b.graph.edge(store1, store2) is not None
+
+    def test_exits_are_ordered_by_control_edges(self):
+        block = two_exit_block()
+        exits = block.exit_ids
+        assert block.graph.must_precede(exits[0], exits[1])
+
+    def test_non_speculative_op_pinned_below_exit(self):
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"])
+        e = b.add_exit(probability=0.5, srcs=["x"])
+        s = b.add_op("store", OpClass.MEM, dests=[], srcs=["x"], speculative=False)
+        assert b.graph.edge(e, s) is not None
+
+    def test_speculative_op_not_pinned(self):
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"])
+        e = b.add_exit(probability=0.5, srcs=["x"])
+        free = b.add_op("add", OpClass.INT, dests=["y"], srcs=["x"], speculative=True)
+        assert b.graph.edge(e, free) is None
+
+    def test_branch_via_add_op_rejected(self):
+        b = SuperblockBuilder("t")
+        with pytest.raises(ValueError):
+            b.add_op("br", OpClass.BRANCH)
+
+    def test_final_exit_added_automatically(self):
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"])
+        b.add_exit(probability=0.25, srcs=["x"])
+        block = b.build()
+        assert len(block.exits) == 2
+        assert abs(block.total_exit_probability - 1.0) < 1e-9
+
+    def test_fresh_value_helper(self):
+        b = SuperblockBuilder("t")
+        assert b.fresh_value() != b.fresh_value()
+
+
+class TestSuperblockQueries:
+    def test_exit_probability_lookup(self):
+        block = two_exit_block()
+        first, second = block.exit_ids
+        assert block.exit_probability(first) == pytest.approx(0.4)
+        assert block.exit_probability(second) == pytest.approx(0.6)
+
+    def test_exit_probability_rejects_non_exit(self):
+        block = two_exit_block()
+        with pytest.raises(ValueError):
+            block.exit_probability(0)
+
+    def test_count_by_class(self):
+        block = two_exit_block()
+        counts = block.count_by_class()
+        assert counts[OpClass.BRANCH] == 2
+        assert counts[OpClass.MEM] == 1
+
+    def test_critical_path_length_linear_chain(self):
+        block = linear_chain_block(length=3, latency=2)
+        # 3 ops of latency 2 chained, then a 1-cycle exit: 2+2+2+1
+        assert block.critical_path_length() == 7
+
+    def test_with_exit_probabilities(self):
+        block = two_exit_block()
+        first, second = block.exit_ids
+        variant = block.with_exit_probabilities({first: 0.9, second: 0.1})
+        assert variant.exit_probability(first) == pytest.approx(0.9)
+        # The original block is untouched.
+        assert block.exit_probability(first) == pytest.approx(0.4)
+        # Structure preserved.
+        assert variant.size == block.size
+
+    def test_with_exit_probabilities_rejects_non_exit(self):
+        block = two_exit_block()
+        with pytest.raises(ValueError):
+            block.with_exit_probabilities({0: 0.5})
+
+    def test_copy_independent(self):
+        block = two_exit_block()
+        clone = block.copy()
+        assert clone.size == block.size
+        assert clone.graph is not block.graph
+
+
+class TestValidation:
+    def test_valid_blocks_pass(self):
+        for block in (linear_chain_block(), wide_block(), two_exit_block(), paper_figure1_block()):
+            validate_superblock(block)
+
+    def test_probability_sum_enforced(self):
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"])
+        b.add_exit(probability=0.3, srcs=["x"])
+        block = b.build(final_exit_probability=0.3)  # sums to 0.6
+        with pytest.raises(ValidationError):
+            validate_superblock(block)
+
+    def test_missing_exit_rejected(self):
+        from repro.ir.depgraph import DependenceGraph
+        from repro.ir.operation import Operation
+        from repro.ir.superblock import Superblock
+
+        g = DependenceGraph()
+        g.add_operation(Operation(0, "add", OpClass.INT, latency=1))
+        block = Superblock(name="noexit", graph=g)
+        with pytest.raises(ValidationError):
+            validate_superblock(block)
+
+    def test_empty_block_rejected(self):
+        from repro.ir.depgraph import DependenceGraph
+        from repro.ir.superblock import Superblock
+
+        with pytest.raises(ValidationError):
+            validate_superblock(Superblock(name="empty", graph=DependenceGraph()))
+
+    def test_scheduler_inserted_copies_rejected(self):
+        from repro.ir.operation import make_copy
+
+        b = SuperblockBuilder("t")
+        b.add_op("add", OpClass.INT, dests=["x"])
+        b.add_exit(probability=1.0, srcs=["x"])
+        block = b.build()
+        block.graph.add_operation(make_copy(99, "x"))
+        with pytest.raises(ValidationError):
+            validate_superblock(block)

@@ -1,0 +1,112 @@
+"""Tests for the CARS baseline and the plain list scheduler."""
+
+import pytest
+
+from repro.bounds import min_awct
+from repro.machine import (
+    example_2cluster,
+    paper_2c_8i_1lat,
+    paper_4c_16i_1lat,
+    paper_4c_16i_2lat,
+    unified,
+)
+from repro.scheduler import CarsScheduler, ListScheduler, validate_schedule
+from repro.workloads import (
+    dct_butterfly_kernel,
+    dot_product_kernel,
+    fir_kernel,
+    paper_figure1_block,
+    string_search_kernel,
+)
+
+from tests.helpers import linear_chain_block, two_exit_block, wide_block
+
+# The Section 5 example machine only has integer and branch units, so it is
+# exercised with the paper's running example only; the kernels (which contain
+# memory and floating-point operations) run on the full paper configurations.
+ALL_MACHINES = [
+    paper_2c_8i_1lat(),
+    paper_4c_16i_1lat(),
+    paper_4c_16i_2lat(),
+    unified(),
+]
+
+KERNELS = [
+    paper_figure1_block(),
+    fir_kernel(),
+    dot_product_kernel(),
+    dct_butterfly_kernel(),
+    string_search_kernel(),
+]
+
+
+class TestCarsBasics:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CarsScheduler(cluster_policy="bogus")
+
+    def test_schedules_every_operation(self):
+        block = paper_figure1_block()
+        result = CarsScheduler().schedule(block, paper_2c_8i_1lat())
+        assert set(result.schedule.cycles) == set(block.op_ids)
+        assert set(result.schedule.clusters) == set(block.op_ids)
+
+    def test_result_metadata(self):
+        block = paper_figure1_block()
+        result = CarsScheduler().schedule(block, paper_2c_8i_1lat())
+        assert result.scheduler == "CARS"
+        assert result.work > 0
+        assert result.wall_time >= 0.0
+        assert not result.timed_out
+
+    def test_chain_is_scheduled_serially(self):
+        block = linear_chain_block(length=4, latency=2)
+        result = CarsScheduler().schedule(block, paper_2c_8i_1lat())
+        assert result.awct == pytest.approx(min_awct(block))
+        assert result.schedule.n_communications == 0
+
+    def test_paper_example_matches_hand_result(self):
+        """On the Section 5 machine CARS behaves like a greedy list
+        scheduler: it reaches AWCT 9.8, above the paper technique's 9.4."""
+        block = paper_figure1_block()
+        result = CarsScheduler().schedule(block, example_2cluster())
+        assert result.awct == pytest.approx(9.8, abs=1e-6)
+
+    def test_respects_awct_lower_bound(self):
+        for block in KERNELS:
+            for machine in ALL_MACHINES:
+                result = CarsScheduler().schedule(block, machine)
+                assert result.awct >= min_awct(block, machine) - 1e-9
+
+
+@pytest.mark.parametrize("machine", ALL_MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("block", KERNELS, ids=lambda b: b.name)
+class TestCarsValidity:
+    def test_schedules_are_valid(self, block, machine):
+        result = CarsScheduler().schedule(block, machine)
+        report = validate_schedule(result.schedule)
+        assert report.ok, report.errors
+
+
+class TestListScheduler:
+    def test_list_scheduler_valid_everywhere(self):
+        block = wide_block(width=6, latency=1)
+        for machine in ALL_MACHINES:
+            result = ListScheduler().schedule(block, machine)
+            assert validate_schedule(result.schedule).ok
+
+    def test_naive_policy_never_beats_cars_on_average(self):
+        blocks = KERNELS
+        machine = paper_4c_16i_1lat()
+        cars_total = sum(CarsScheduler().schedule(b, machine).total_cycles for b in blocks)
+        naive_total = sum(ListScheduler().schedule(b, machine).total_cycles for b in blocks)
+        assert cars_total <= naive_total + 1e-9
+
+    def test_single_cluster_equivalence(self):
+        # On a unified machine the cluster policy is irrelevant.
+        block = dot_product_kernel()
+        machine = unified()
+        assert (
+            CarsScheduler().schedule(block, machine).awct
+            == ListScheduler().schedule(block, machine).awct
+        )

@@ -1,0 +1,292 @@
+"""Unit tests for the scheduling state."""
+
+import pytest
+
+from repro.deduction import Contradiction, SchedulingState
+from repro.deduction.consequence import (
+    BoundChange,
+    CombinationChosen,
+    CommCreated,
+    CycleFixed,
+)
+from repro.machine import example_1cluster_fig4, example_2cluster, paper_2c_8i_1lat
+from repro.sgraph import SchedulingGraph
+from repro.workloads import paper_figure1_block
+
+from tests.helpers import two_exit_block, wide_block
+
+
+def make_state(block=None, machine=None):
+    block = block or paper_figure1_block()
+    machine = machine or example_2cluster()
+    return SchedulingState(block, machine, SchedulingGraph(block, machine))
+
+
+class TestBounds:
+    def test_initial_bounds(self):
+        state = make_state()
+        assert state.estart[0] == 0
+        assert state.lstart[0] == float("inf")
+        assert state.slack(0) == float("inf")
+
+    def test_set_estart_monotone(self):
+        state = make_state()
+        changes = state.set_estart(1, 3)
+        assert changes == [BoundChange(1, "estart", 3)]
+        assert state.set_estart(1, 2) == []  # never decreases
+        assert state.estart[1] == 3
+
+    def test_set_lstart_and_fix(self):
+        state = make_state()
+        state.set_lstart(1, 5)
+        changes = state.set_estart(1, 5)
+        assert CycleFixed(1, 5) in changes
+        assert state.is_fixed(1)
+        assert state.cycle_of(1) == 5
+
+    def test_bound_contradiction(self):
+        state = make_state()
+        state.set_lstart(1, 4)
+        with pytest.raises(Contradiction):
+            state.set_estart(1, 5)
+
+    def test_forbid_cycle_moves_boundary(self):
+        state = make_state()
+        state.set_lstart(1, 5)
+        state.forbid_cycle(1, 2)
+        assert state.estart[1] == 3
+        state.forbid_cycle(1, 5)
+        assert state.lstart[1] == 4
+
+    def test_forbid_fixed_cycle_contradicts(self):
+        state = make_state()
+        state.fix_cycle(1, 3)
+        with pytest.raises(Contradiction):
+            state.forbid_cycle(1, 3)
+
+    def test_forbid_interior_cycle_is_noop(self):
+        state = make_state()
+        state.set_lstart(1, 9)
+        assert state.forbid_cycle(1, 5) == []
+
+    def test_exit_deadlines_propagate_default(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 5, block.exit_ids[1]: 7})
+        assert all(state.lstart[i] != float("inf") for i in block.op_ids)
+
+    def test_partial_exit_deadline_does_not_bound_everything(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 5})
+        # The other exit keeps an unconstrained late bound.
+        assert state.lstart[block.exit_ids[1]] == float("inf")
+
+    def test_horizon(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 5, block.exit_ids[1]: 7})
+        assert state.horizon == 7
+
+
+class TestCombinations:
+    def test_choose_discards_others_and_links_component(self):
+        state = make_state()
+        changes = state.choose_combination(1, 2, 0)
+        assert any(isinstance(c, CombinationChosen) for c in changes)
+        assert state.chosen_distance(1, 2) == 0
+        assert state.remaining_combinations(1, 2) == []
+        assert state.components.offset_between(1, 2) == 0
+        assert state.is_pair_decided(1, 2)
+
+    def test_choose_conflicting_distance_contradicts(self):
+        state = make_state()
+        state.choose_combination(1, 2, 0)
+        with pytest.raises(Contradiction):
+            state.choose_combination(1, 2, 1)
+
+    def test_choose_non_combination_distance_contradicts(self):
+        state = make_state()
+        with pytest.raises(Contradiction):
+            state.choose_combination(1, 2, 99)
+
+    def test_discard_then_choose_contradicts(self):
+        state = make_state()
+        state.discard_combination(1, 2, 0)
+        with pytest.raises(Contradiction):
+            state.choose_combination(1, 2, 0)
+
+    def test_choose_then_discard_contradicts(self):
+        state = make_state()
+        state.choose_combination(1, 2, 0)
+        with pytest.raises(Contradiction):
+            state.discard_combination(1, 2, 0)
+
+    def test_discarding_all_decides_pair(self):
+        state = make_state()
+        for distance in list(state.remaining_combinations(1, 2)):
+            state.discard_combination(1, 2, distance)
+        assert state.is_pair_decided(1, 2)
+        assert (1, 2) not in state.untreated_pairs()
+
+    def test_reversed_pair_choice_normalises_distance(self):
+        state = make_state()
+        state.choose_combination(2, 1, 1)  # cycle(1) - cycle(2) = 1
+        assert state.chosen_distance(1, 2) == -1
+
+    def test_pair_slack_and_window(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 5, block.exit_ids[1]: 7})
+        low, high = state.combination_window(1, 2, 0)
+        assert low <= high
+        assert state.pair_slack(1, 2) >= 0
+
+
+class TestOverlapQueries:
+    def test_must_overlap_requires_finite_bounds(self):
+        state = make_state()
+        assert not state.must_overlap(1, 2)
+
+    def test_must_overlap_when_windows_tight(self):
+        state = make_state()
+        state.set_lstart(1, 2)
+        state.set_lstart(2, 2)
+        state.set_estart(1, 2)
+        state.set_estart(2, 2)
+        assert state.must_overlap(1, 2)
+        assert state.can_overlap(1, 2)
+
+    def test_can_overlap_false_when_separated(self):
+        state = make_state()
+        state.set_lstart(0, 0)          # I0 fixed at 0, latency 2
+        state.set_estart(5, 10)
+        state.set_lstart(5, 12)
+        assert not state.can_overlap(0, 5)
+
+
+class TestVirtualClustersAndComms:
+    def test_fuse_and_incompatible(self):
+        state = make_state()
+        assert state.fuse_vcs(1, 2)
+        assert state.same_vc(1, 2)
+        assert state.mark_incompatible(1, 3)
+        with pytest.raises(Contradiction):
+            state.fuse_vcs(2, 3)
+
+    def test_outedges_and_crossing_edges(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        assert (0, 1, "v0") in state.outedges()
+        state.mark_incompatible(0, 1)
+        assert (0, 1, "v0") not in state.outedges()
+        assert (0, 1, "v0") in state.crossing_edges()
+
+    def test_add_flc_creates_copy_and_edges(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        changes = state.add_flc(0, 1, "v0")
+        assert any(isinstance(c, CommCreated) for c in changes)
+        comm_id = state.comm_ids[0]
+        assert state.is_comm(comm_id)
+        assert state.estart[comm_id] == state.estart[0] + state.latency(0)
+        # successor edge from producer to the copy exists
+        assert any(dst == comm_id for dst, _ in state.succ_edges(0))
+        assert any(dst == 1 for dst, _ in state.succ_edges(comm_id))
+
+    def test_add_flc_reuses_single_comm_per_value(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        state.add_flc(0, 1, "v0")
+        before = len(state.comms)
+        state.add_flc(0, 2, "v0")
+        assert len(state.comms) == before  # reused, not duplicated
+
+    def test_add_flc_without_room_contradicts(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_lstart(1, 2)  # consumer must start at cycle 2 at the latest
+        with pytest.raises(Contradiction):
+            state.add_flc(0, 1, "v0")
+
+    def test_plc_lifecycle(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        state.add_plc(alternatives=((1, 5), (2, 5)), consumer=5)
+        assert len(state.comms.partially_linked()) == 1
+        comm_id = state.comm_ids[0]
+        state.remove_plc_alternative(comm_id, (1, 5))
+        # A single alternative remains: promoted to a fully linked copy.
+        assert state.comms.get(comm_id).is_fully_linked
+        assert state.comms.get(comm_id).producer == 2
+
+    def test_plc_dropped_when_all_alternatives_removed(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        state.add_plc(alternatives=((1, 5),), consumer=5)
+        comm_id = state.comm_ids[0]
+        state.remove_plc_alternative(comm_id, (1, 5))
+        assert comm_id not in state.comms
+        assert not state.has_op(comm_id)
+
+    def test_duplicate_plc_not_created(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        state.add_plc(alternatives=((1, 5), (2, 5)))
+        assert state.add_plc(alternatives=((2, 5), (1, 5))) == []
+        assert len(state.comms) == 1
+
+    def test_drop_unresolved_plcs(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        state.add_plc(alternatives=((1, 5), (2, 5)))
+        dropped = state.drop_unresolved_plcs()
+        assert len(dropped) == 1
+        assert len(state.comms) == 0
+
+    def test_copy_is_deep_enough(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        clone = state.copy()
+        clone.fuse_vcs(1, 2)
+        clone.set_estart(1, 3)
+        clone.choose_combination(1, 3, 0)
+        clone.add_flc(0, 1, "v0")
+        assert not state.same_vc(1, 2)
+        assert state.estart[1] == 2
+        assert state.chosen_distance(1, 3) is None
+        assert len(state.comms) == 0
+
+
+class TestSummaryMetrics:
+    def test_compactness_and_slack(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 5, block.exit_ids[1]: 7})
+        before = state.compactness()
+        total_before = state.total_slack()
+        state.set_estart(1, 3)
+        assert state.compactness() > before
+        assert state.total_slack() < total_before
+
+    def test_outedge_vc_ratio_decreases_with_fusion(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        before = state.outedge_vc_ratio()
+        state.fuse_vcs(0, 1)
+        assert state.outedge_vc_ratio() <= before
+
+    def test_n_communications(self):
+        block = paper_figure1_block()
+        state = make_state(block)
+        state.set_exit_deadlines({block.exit_ids[0]: 6, block.exit_ids[1]: 9})
+        assert state.n_communications() == 0
+        state.add_flc(0, 1, "v0")
+        assert state.n_communications() == 1

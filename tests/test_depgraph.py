@@ -1,0 +1,137 @@
+"""Unit tests for repro.ir.depgraph."""
+
+import pytest
+
+from repro.ir.depgraph import DepKind, DependenceGraph
+from repro.ir.operation import OpClass, Operation
+
+
+def _op(op_id, latency=2, op_class=OpClass.INT, dests=(), srcs=()):
+    return Operation(op_id, "add", op_class, latency=latency, dests=tuple(dests), srcs=tuple(srcs))
+
+
+def _diamond():
+    """0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3."""
+    g = DependenceGraph()
+    for i in range(4):
+        g.add_operation(_op(i, dests=[f"v{i}"]))
+    g.add_edge(0, 1, DepKind.DATA, value="v0")
+    g.add_edge(0, 2, DepKind.DATA, value="v0")
+    g.add_edge(1, 3, DepKind.DATA, value="v1")
+    g.add_edge(2, 3, DepKind.DATA, value="v2")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_operation_rejected(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0))
+        with pytest.raises(ValueError):
+            g.add_operation(_op(0))
+
+    def test_edge_to_unknown_operation_rejected(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0))
+        with pytest.raises(KeyError):
+            g.add_edge(0, 1)
+
+    def test_self_edge_rejected(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0))
+        with pytest.raises(ValueError):
+            g.add_edge(0, 0)
+
+    def test_default_latency_is_source_latency_for_data(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0, latency=3))
+        g.add_operation(_op(1))
+        edge = g.add_edge(0, 1, DepKind.DATA)
+        assert edge.latency == 3
+
+    def test_default_latency_zero_for_control(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0, latency=3))
+        g.add_operation(_op(1))
+        edge = g.add_edge(0, 1, DepKind.CONTROL)
+        assert edge.latency == 0
+
+    def test_parallel_edge_keeps_max_latency(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0, latency=1))
+        g.add_operation(_op(1))
+        g.add_edge(0, 1, DepKind.ANTI, latency=0)
+        g.add_edge(0, 1, DepKind.DATA, latency=3, value="v0")
+        edge = g.edge(0, 1)
+        assert edge.latency == 3
+        assert edge.kind is DepKind.DATA
+
+    def test_negative_latency_rejected(self):
+        g = DependenceGraph()
+        g.add_operation(_op(0))
+        g.add_operation(_op(1))
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, latency=-1)
+
+
+class TestQueries:
+    def test_topological_order_respects_edges(self):
+        g = _diamond()
+        order = g.topological_order()
+        assert order.index(0) < order.index(1) < order.index(3)
+        assert order.index(0) < order.index(2) < order.index(3)
+
+    def test_must_precede_transitive(self):
+        g = _diamond()
+        assert g.must_precede(0, 3)
+        assert not g.must_precede(3, 0)
+        assert not g.must_precede(1, 2)
+
+    def test_are_ordered(self):
+        g = _diamond()
+        assert g.are_ordered(0, 3)
+        assert g.are_ordered(3, 0)
+        assert not g.are_ordered(1, 2)
+
+    def test_min_distance_longest_path(self):
+        g = _diamond()
+        # 0 -> 1 -> 3 has latency 2 + 2.
+        assert g.min_distance(0, 3) == 4
+        assert g.min_distance(1, 2) is None
+
+    def test_predecessors_successors(self):
+        g = _diamond()
+        assert {e.src for e in g.predecessors(3)} == {1, 2}
+        assert {e.dst for e in g.successors(0)} == {1, 2}
+
+    def test_register_edges(self):
+        g = _diamond()
+        assert len(g.register_edges()) == 4
+
+    def test_producer_and_consumers(self):
+        g = _diamond()
+        assert g.producer_of("v0") == 0
+        assert g.consumers_of("v0") == [1, 2]
+        assert g.producer_of("nope") is None
+
+    def test_is_acyclic(self):
+        g = _diamond()
+        assert g.is_acyclic()
+
+    def test_copy_is_independent(self):
+        g = _diamond()
+        clone = g.copy()
+        clone.add_operation(_op(99))
+        assert 99 in clone
+        assert 99 not in g
+        assert len(list(clone.edges())) == len(list(g.edges()))
+
+    def test_len_and_contains(self):
+        g = _diamond()
+        assert len(g) == 4
+        assert 2 in g and 7 not in g
+
+    def test_as_networkx_is_a_copy(self):
+        g = _diamond()
+        nxg = g.as_networkx()
+        nxg.add_node(1234)
+        assert 1234 not in g

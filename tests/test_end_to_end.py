@@ -1,0 +1,74 @@
+"""End-to-end property tests: random blocks, both schedulers, all machines.
+
+The central invariant of the whole system: whatever superblock the generator
+produces, both schedulers must emit schedules that pass the machine-checked
+validity conditions (dependences, communications, per-cluster resources, bus
+occupancy), and the proposed technique must never report an AWCT below the
+dependence/resource lower bound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds import min_awct
+from repro.machine import paper_2c_8i_1lat, paper_4c_16i_1lat, paper_4c_16i_2lat
+from repro.scheduler import CarsScheduler, VcsConfig, VirtualClusterScheduler, validate_schedule
+from repro.workloads import GeneratorConfig, SuperblockGenerator
+
+MACHINES = [paper_2c_8i_1lat(), paper_4c_16i_1lat(), paper_4c_16i_2lat()]
+
+
+def _random_block(seed: int, size: int, ilp: float):
+    config = GeneratorConfig(min_ops=size, max_ops=size, ilp=ilp, exit_every=5)
+    return SuperblockGenerator(config, seed=seed).generate(f"e2e/{seed}")
+
+
+@given(seed=st.integers(0, 10_000), size=st.integers(5, 16), ilp=st.floats(1.5, 5.0))
+@settings(max_examples=15, deadline=None)
+def test_cars_schedules_random_blocks_validly(seed, size, ilp):
+    block = _random_block(seed, size, ilp)
+    for machine in MACHINES:
+        result = CarsScheduler().schedule(block, machine)
+        report = validate_schedule(result.schedule)
+        assert report.ok, (block.name, machine.name, report.errors)
+        assert result.awct >= min_awct(block, machine) - 1e-9
+
+
+@given(seed=st.integers(0, 10_000), size=st.integers(5, 12), ilp=st.floats(1.5, 5.0))
+@settings(max_examples=8, deadline=None)
+def test_vcs_schedules_random_blocks_validly(seed, size, ilp):
+    block = _random_block(seed, size, ilp)
+    scheduler = VirtualClusterScheduler(VcsConfig(work_budget=40_000))
+    for machine in MACHINES:
+        result = scheduler.schedule(block, machine)
+        report = validate_schedule(result.schedule)
+        assert report.ok, (block.name, machine.name, report.errors)
+        assert result.awct >= min_awct(block, machine) - 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_vcs_with_fallback_never_loses_to_cars(seed):
+    block = _random_block(seed, 10, 3.0)
+    machine = paper_4c_16i_1lat()
+    cars = CarsScheduler().schedule(block, machine)
+    vcs = VirtualClusterScheduler(VcsConfig(work_budget=40_000)).schedule(block, machine)
+    if not vcs.fallback_used:
+        # A non-fallback result may occasionally be worse (the AWCT walk can
+        # overshoot), but it must stay within a small factor of the baseline.
+        assert vcs.awct <= cars.awct * 1.5 + 1e-9
+    else:
+        assert vcs.awct == pytest.approx(cars.awct)
+
+
+def test_suite_smoke_all_machines():
+    """A tiny fixed workload end to end on all three configurations."""
+    from repro.workloads import build_benchmark, profile_by_name
+
+    workload = build_benchmark(profile_by_name("g721dec").scaled(2))
+    for machine in MACHINES:
+        for block in workload.blocks:
+            for scheduler in (CarsScheduler(), VirtualClusterScheduler(VcsConfig(work_budget=30_000))):
+                result = scheduler.schedule(block, machine)
+                assert validate_schedule(result.schedule).ok

@@ -1,0 +1,137 @@
+"""Unit tests for the machine model."""
+
+import pytest
+
+from repro.ir.operation import OpClass, Operation
+from repro.machine import (
+    BusConfig,
+    ClusterConfig,
+    ClusteredMachine,
+    FuKind,
+    example_1cluster_fig4,
+    example_2cluster,
+    paper_2c_8i_1lat,
+    paper_4c_16i_1lat,
+    paper_4c_16i_2lat,
+    paper_configurations,
+    unified,
+)
+from repro.machine.resources import fu_kind_for
+
+
+class TestResources:
+    def test_fu_kind_mapping(self):
+        assert fu_kind_for(OpClass.INT) is FuKind.INT
+        assert fu_kind_for(OpClass.BRANCH) is FuKind.BRANCH
+        assert fu_kind_for(OpClass.COPY) is None
+
+
+class TestClusterConfig:
+    def test_uniform(self):
+        cluster = ClusterConfig.uniform(count_per_kind=2)
+        assert cluster.fu_count(FuKind.INT) == 2
+        assert cluster.total_fus == 8
+        assert cluster.issue_width == 8
+
+    def test_explicit_issue_width(self):
+        cluster = ClusterConfig({FuKind.INT: 1, FuKind.BRANCH: 1}, issue_width=2)
+        assert cluster.issue_width == 2
+        assert cluster.supports(FuKind.INT)
+        assert not cluster.supports(FuKind.FP)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig({FuKind.INT: -1})
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig({})
+
+
+class TestBusConfig:
+    def test_occupancy_pipelined(self):
+        assert BusConfig(count=1, latency=2, pipelined=True).occupancy == 1
+
+    def test_occupancy_non_pipelined(self):
+        assert BusConfig(count=1, latency=2, pipelined=False).occupancy == 2
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            BusConfig(latency=0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            BusConfig(count=-1)
+
+
+class TestClusteredMachine:
+    def test_paper_2c(self):
+        machine = paper_2c_8i_1lat()
+        assert machine.n_clusters == 2
+        assert machine.total_issue_width == 8
+        assert machine.is_clustered
+        assert machine.is_homogeneous
+        assert machine.copy_latency == 1
+
+    def test_paper_4c_configs(self):
+        one = paper_4c_16i_1lat()
+        two = paper_4c_16i_2lat()
+        assert one.n_clusters == two.n_clusters == 4
+        assert one.total_issue_width == two.total_issue_width == 16
+        assert one.bus.latency == 1 and two.bus.latency == 2
+        assert one.bus.pipelined and not two.bus.pipelined
+
+    def test_paper_configurations_order(self):
+        names = [m.name for m in paper_configurations()]
+        assert names == ["2clust 1b 1lat", "4clust 1b 1lat", "4clust 1b 2lat"]
+
+    def test_example_machines(self):
+        two = example_2cluster()
+        assert two.cluster_capacity(0, OpClass.INT) == 1
+        assert two.cluster_capacity(0, OpClass.FP) == 0
+        one = example_1cluster_fig4()
+        assert one.per_cycle_capacity(OpClass.INT) == 2
+        assert one.per_cycle_capacity(OpClass.BRANCH) == 1
+        assert not one.is_clustered
+
+    def test_unified(self):
+        machine = unified(issue_width=6, fus_per_kind=2)
+        assert machine.n_clusters == 1
+        assert machine.total_issue_width == 6
+
+    def test_per_cycle_capacity_copy_is_bus_count(self):
+        machine = paper_2c_8i_1lat()
+        assert machine.per_cycle_capacity(OpClass.COPY) == 1
+
+    def test_can_execute(self):
+        machine = example_2cluster()
+        int_op = Operation(0, "add", OpClass.INT, latency=1)
+        fp_op = Operation(1, "fadd", OpClass.FP, latency=3)
+        assert machine.can_execute(0, int_op)
+        assert not machine.can_execute(0, fp_op)
+
+    def test_machine_needs_clusters(self):
+        with pytest.raises(ValueError):
+            ClusteredMachine(name="none", clusters=())
+
+    def test_resource_length_lower_bound(self):
+        machine = example_2cluster()  # 1 INT + 1 BRANCH per cluster
+        ops = [Operation(i, "add", OpClass.INT, latency=1) for i in range(5)]
+        # 5 INT ops on 2 INT units -> at least 3 cycles.
+        assert machine.resource_length_lower_bound(ops) == 3
+
+    def test_resource_length_lower_bound_empty(self):
+        assert paper_2c_8i_1lat().resource_length_lower_bound([]) == 0
+
+    def test_resource_lower_bound_unsupported_class(self):
+        machine = example_2cluster()
+        fp_ops = [Operation(0, "fadd", OpClass.FP, latency=3)]
+        with pytest.raises(ValueError):
+            machine.resource_length_lower_bound(fp_ops)
+
+    def test_fu_count_lookup(self):
+        machine = paper_4c_16i_1lat()
+        for cluster in machine.cluster_ids:
+            for op_class in (OpClass.INT, OpClass.FP, OpClass.MEM, OpClass.BRANCH):
+                assert machine.fu_count(cluster, op_class) == 1
+        assert machine.total_fu_count(OpClass.INT) == 4

@@ -1,0 +1,95 @@
+"""Unit tests for repro.ir.operation."""
+
+import pytest
+
+from repro.ir.operation import (
+    DEFAULT_LATENCIES,
+    OpClass,
+    Operation,
+    default_latency,
+    make_copy,
+)
+
+
+class TestOpClass:
+    def test_branch_flag(self):
+        assert OpClass.BRANCH.is_branch
+        assert not OpClass.INT.is_branch
+
+    def test_copy_flag(self):
+        assert OpClass.COPY.is_copy
+        assert not OpClass.MEM.is_copy
+
+    def test_default_latency_covers_every_class(self):
+        for op_class in OpClass:
+            assert default_latency(op_class) == DEFAULT_LATENCIES[op_class]
+            assert default_latency(op_class) >= 1
+
+
+class TestOperation:
+    def test_basic_construction(self):
+        op = Operation(0, "add", OpClass.INT, latency=2, dests=("x",), srcs=("a", "b"))
+        assert op.name == "I0"
+        assert not op.is_exit
+        assert not op.is_branch
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Operation(0, "add", OpClass.INT, latency=0)
+
+    def test_exit_probability_range(self):
+        with pytest.raises(ValueError):
+            Operation(0, "br", OpClass.BRANCH, latency=1, is_exit=True, exit_prob=1.5)
+
+    def test_exit_must_be_branch(self):
+        with pytest.raises(ValueError):
+            Operation(0, "add", OpClass.INT, latency=1, is_exit=True, exit_prob=0.5)
+
+    def test_valid_exit(self):
+        op = Operation(3, "br", OpClass.BRANCH, latency=3, is_exit=True, exit_prob=0.25)
+        assert op.is_exit and op.is_branch
+        assert op.name == "B3"
+
+    def test_copy_requires_single_source(self):
+        with pytest.raises(ValueError):
+            Operation(0, "copy", OpClass.COPY, latency=1, srcs=("a", "b"))
+
+    def test_with_id(self):
+        op = Operation(0, "add", OpClass.INT, latency=1)
+        renamed = op.with_id(7)
+        assert renamed.op_id == 7
+        assert renamed.opcode == op.opcode
+        assert op.op_id == 0  # original untouched
+
+    def test_name_prefixes(self):
+        assert Operation(1, "load", OpClass.MEM, latency=2).name == "M1"
+        assert Operation(2, "fadd", OpClass.FP, latency=3).name == "F2"
+        assert make_copy(4, "v").name == "C4"
+
+    def test_str_contains_opcode(self):
+        op = Operation(0, "mul", OpClass.INT, latency=2, dests=("x",))
+        assert "mul" in str(op)
+
+    def test_operations_are_hashable_and_comparable(self):
+        a = Operation(0, "add", OpClass.INT, latency=1)
+        b = Operation(0, "add", OpClass.INT, latency=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comment_not_part_of_equality(self):
+        a = Operation(0, "add", OpClass.INT, latency=1, comment="x")
+        b = Operation(0, "add", OpClass.INT, latency=1, comment="y")
+        assert a == b
+
+
+class TestMakeCopy:
+    def test_default_destination_name(self):
+        copy = make_copy(9, "v3")
+        assert copy.srcs == ("v3",)
+        assert copy.dests == ("v3'",)
+        assert copy.op_class is OpClass.COPY
+
+    def test_custom_latency_and_dest(self):
+        copy = make_copy(9, "v3", dest="remote", latency=2)
+        assert copy.latency == 2
+        assert copy.dests == ("remote",)

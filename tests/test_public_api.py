@@ -1,0 +1,28 @@
+"""Tests of the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example(self):
+        block = repro.paper_figure1_block()
+        machine = repro.example_2cluster()
+        proposed = repro.VirtualClusterScheduler().schedule(block, machine)
+        baseline = repro.CarsScheduler().schedule(block, machine)
+        assert proposed.awct <= baseline.awct
+
+    def test_paper_configurations_exposed(self):
+        machines = repro.paper_configurations()
+        assert [m.n_clusters for m in machines] == [2, 4, 4]
+
+    def test_suite_helpers_exposed(self):
+        assert len(repro.all_profiles()) == 14
+        workload = repro.build_benchmark(repro.profile_by_name("rasta").scaled(1))
+        assert workload.n_blocks == 1

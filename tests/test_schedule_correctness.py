@@ -1,0 +1,172 @@
+"""Tests for the Schedule container and the validity checker."""
+
+import pytest
+
+from repro.machine import example_2cluster, paper_2c_8i_1lat, paper_4c_16i_2lat, unified
+from repro.scheduler import (
+    CarsScheduler,
+    Schedule,
+    ScheduledComm,
+    ScheduleError,
+    ScheduleResult,
+    validate_schedule,
+)
+from repro.workloads import paper_figure1_block
+
+from tests.helpers import linear_chain_block, two_exit_block
+
+
+def _chain_schedule(machine=None):
+    """A correct single-cluster schedule of the 3-op chain block."""
+    machine = machine or example_2cluster()
+    block = linear_chain_block(length=3, latency=2)
+    cycles = {0: 0, 1: 2, 2: 4, 3: 6}
+    clusters = {op_id: 0 for op_id in cycles}
+    return Schedule(block=block, machine=machine, cycles=cycles, clusters=clusters)
+
+
+class TestScheduleMetrics:
+    def test_awct_and_total_cycles(self):
+        schedule = _chain_schedule()
+        # Exit (op 3, latency 1) at cycle 6 -> AWCT 7; execution count 10.
+        assert schedule.awct == pytest.approx(7.0)
+        assert schedule.total_cycles == pytest.approx(70.0)
+
+    def test_length(self):
+        schedule = _chain_schedule()
+        assert schedule.length == 7
+
+    def test_cluster_load(self):
+        schedule = _chain_schedule()
+        load = schedule.cluster_load()
+        assert load[0] == 4
+        assert load[1] == 0
+
+    def test_comm_lookup(self):
+        schedule = _chain_schedule()
+        schedule.comms.append(ScheduledComm(value="v0", producer=0, cycle=2, src_cluster=0))
+        assert schedule.comm_for_value("v0").cycle == 2
+        assert schedule.comm_for_value("nope") is None
+        assert schedule.n_communications == 1
+
+    def test_as_table_mentions_all_cycles(self):
+        schedule = _chain_schedule()
+        table = schedule.as_table()
+        assert "cycle   0" in table and "cycle   6" in table
+
+    def test_scheduled_comm_occupancy(self):
+        comm = ScheduledComm(value="v", producer=0, cycle=3, src_cluster=0)
+        assert comm.occupies(3, occupancy=2)
+        assert comm.occupies(4, occupancy=2)
+        assert not comm.occupies(5, occupancy=2)
+
+
+class TestScheduleResult:
+    def test_result_properties(self):
+        schedule = _chain_schedule()
+        result = ScheduleResult(
+            scheduler="test", block=schedule.block, machine=schedule.machine, schedule=schedule
+        )
+        assert result.ok
+        assert result.awct == schedule.awct
+        assert result.total_cycles == schedule.total_cycles
+
+    def test_missing_schedule_raises_on_awct(self):
+        schedule = _chain_schedule()
+        result = ScheduleResult(
+            scheduler="test", block=schedule.block, machine=schedule.machine, schedule=None
+        )
+        assert not result.ok
+        with pytest.raises(ValueError):
+            _ = result.awct
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self):
+        report = validate_schedule(_chain_schedule())
+        assert report.ok
+        report.raise_if_invalid()
+
+    def test_dependence_violation_detected(self):
+        schedule = _chain_schedule()
+        schedule.cycles[1] = 1  # producer finishes at 2
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert any("dependence" in error for error in report.errors)
+        with pytest.raises(ScheduleError):
+            report.raise_if_invalid()
+
+    def test_missing_cycle_detected(self):
+        schedule = _chain_schedule()
+        del schedule.cycles[2]
+        assert not validate_schedule(schedule).ok
+
+    def test_missing_cluster_detected(self):
+        schedule = _chain_schedule()
+        del schedule.clusters[2]
+        assert not validate_schedule(schedule).ok
+
+    def test_unknown_cluster_detected(self):
+        schedule = _chain_schedule()
+        schedule.clusters[0] = 7
+        assert not validate_schedule(schedule).ok
+
+    def test_cross_cluster_value_needs_copy(self):
+        schedule = _chain_schedule()
+        schedule.clusters[1] = 1  # consumer of v0 moves to the other cluster
+        report = validate_schedule(schedule)
+        assert any("without a copy" in error for error in report.errors)
+
+    def test_cross_cluster_value_with_copy_passes(self):
+        schedule = _chain_schedule()
+        schedule.clusters[1] = 1
+        schedule.cycles[1] = 3   # copy of v0 (issued at 2) arrives at 3
+        schedule.cycles[2] = 6   # copy of v1 (issued at 5) arrives at 6
+        schedule.cycles[3] = 8
+        schedule.comms.append(ScheduledComm(value="v0", producer=0, cycle=2, src_cluster=0, dst_cluster=1))
+        # v1 now also crosses back from cluster 1 to cluster 0.
+        schedule.comms.append(ScheduledComm(value="v1", producer=1, cycle=5, src_cluster=1, dst_cluster=0))
+        report = validate_schedule(schedule)
+        assert report.ok, report.errors
+
+    def test_copy_before_producer_ready_detected(self):
+        schedule = _chain_schedule()
+        schedule.clusters[1] = 1
+        schedule.comms.append(ScheduledComm(value="v0", producer=0, cycle=0, src_cluster=0, dst_cluster=1))
+        report = validate_schedule(schedule)
+        assert any("before the" in error for error in report.errors)
+
+    def test_copy_from_wrong_cluster_detected(self):
+        schedule = _chain_schedule()
+        schedule.clusters[1] = 1
+        schedule.cycles[1] = 3
+        schedule.comms.append(ScheduledComm(value="v0", producer=0, cycle=2, src_cluster=1, dst_cluster=1))
+        report = validate_schedule(schedule)
+        assert any("reads from cluster" in error for error in report.errors)
+
+    def test_fu_oversubscription_detected(self):
+        block = two_exit_block()
+        machine = example_2cluster()
+        # All operations in cluster 0, cycle 0: the single INT/MEM units overflow.
+        cycles = {op.op_id: 0 for op in block.operations}
+        clusters = {op.op_id: 0 for op in block.operations}
+        report = validate_schedule(Schedule(block=block, machine=machine, cycles=cycles, clusters=clusters))
+        assert not report.ok
+
+    def test_bus_oversubscription_detected(self):
+        schedule = _chain_schedule(paper_4c_16i_2lat())
+        schedule.comms.append(ScheduledComm(value="x", producer=0, cycle=2, src_cluster=0))
+        schedule.comms.append(ScheduledComm(value="y", producer=0, cycle=3, src_cluster=0))
+        report = validate_schedule(schedule)
+        assert any("bus" in error for error in report.errors)
+
+    def test_pipelined_bus_allows_back_to_back_copies(self):
+        schedule = _chain_schedule(paper_2c_8i_1lat())
+        schedule.comms.append(ScheduledComm(value="x", producer=0, cycle=2, src_cluster=0))
+        schedule.comms.append(ScheduledComm(value="y", producer=0, cycle=3, src_cluster=0))
+        assert not any("bus" in e for e in validate_schedule(schedule).errors)
+
+    def test_negative_cycle_detected(self):
+        schedule = _chain_schedule()
+        schedule.cycles[0] = -1
+        assert not validate_schedule(schedule).ok

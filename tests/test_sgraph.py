@@ -1,0 +1,183 @@
+"""Unit tests for combinations, the scheduling graph and offset union-find."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import example_1cluster_fig4, example_2cluster, paper_2c_8i_1lat
+from repro.sgraph import (
+    Combination,
+    OffsetContradiction,
+    OffsetUnionFind,
+    SchedulingGraph,
+    combination_range,
+    feasible_combinations,
+    pair_key,
+)
+from repro.workloads import paper_figure1_block
+
+from tests.helpers import linear_chain_block, wide_block
+
+
+class TestCombination:
+    def test_pair_key_orders(self):
+        assert pair_key(3, 1) == (1, 3)
+        assert pair_key(1, 3) == (1, 3)
+
+    def test_combination_requires_order(self):
+        with pytest.raises(ValueError):
+            Combination(3, 1, 0)
+
+    def test_offset_from_and_other(self):
+        comb = Combination(1, 3, 2)
+        assert comb.offset_from(1) == 2
+        assert comb.offset_from(3) == -2
+        assert comb.other(1) == 3
+        with pytest.raises(KeyError):
+            comb.offset_from(7)
+
+    def test_combination_range_paper_pair(self):
+        # A 3-cycle and a 2-cycle operation overlap at 4 distances.
+        assert len(list(combination_range(3, 2))) == 4
+        assert list(combination_range(1, 1)) == [0]
+
+    def test_feasible_combinations_respect_dependences(self):
+        block = paper_figure1_block()
+        machine = example_1cluster_fig4()
+        # I4 (op 5) depends on I1 (op 1): no feasible combination at distances
+        # smaller than the producer latency.
+        combos = feasible_combinations(block.graph, machine, 1, 5)
+        assert combos == []
+
+    def test_feasible_combinations_branch_pair_excludes_same_cycle(self):
+        block = paper_figure1_block()
+        machine = example_1cluster_fig4()  # one branch per cycle
+        combos = feasible_combinations(block.graph, machine, 4, 6)
+        distances = [c.distance for c in combos]
+        assert 0 not in distances
+        assert distances  # overlapping placements other than same-cycle exist
+
+    def test_feasible_combinations_independent_pair(self):
+        block = paper_figure1_block()
+        machine = example_1cluster_fig4()
+        combos = feasible_combinations(block.graph, machine, 1, 2)
+        assert [c.distance for c in combos] == [-1, 0, 1]
+
+
+class TestSchedulingGraph:
+    def test_paper_example_edges(self):
+        block = paper_figure1_block()
+        sg = SchedulingGraph(block, example_1cluster_fig4())
+        # No edge between an operation and its transitive successor at full
+        # latency (e.g. I0 and B1), but an edge between the two branches.
+        assert not sg.has_edge(0, 6)
+        assert sg.has_edge(4, 6)
+        assert sg.has_edge(1, 2)
+        assert (1, 2) in sg.pairs()
+
+    def test_neighbors_and_degree(self):
+        block = paper_figure1_block()
+        sg = SchedulingGraph(block, example_1cluster_fig4())
+        assert 2 in sg.neighbors(1)
+        assert sg.degree(1) == len(sg.neighbors(1))
+
+    def test_combinations_symmetric_lookup(self):
+        block = paper_figure1_block()
+        sg = SchedulingGraph(block, example_1cluster_fig4())
+        assert sg.combinations(2, 1) == sg.combinations(1, 2)
+
+    def test_no_edges_in_serial_chain(self):
+        block = linear_chain_block(length=4, latency=2)
+        sg = SchedulingGraph(block, example_2cluster())
+        # Chained 2-cycle operations can never overlap.
+        assert len(sg) == 0
+
+    def test_wide_block_has_many_edges(self):
+        block = wide_block(width=4, latency=1)
+        sg = SchedulingGraph(block, paper_2c_8i_1lat())
+        assert len(sg) >= 6
+        assert sg.n_combinations() >= len(sg)
+
+
+class TestOffsetUnionFind:
+    def test_link_and_offset(self):
+        uf = OffsetUnionFind([1, 2, 3])
+        uf.link(1, 2, 3)
+        assert uf.offset_between(1, 2) == 3
+        assert uf.offset_between(2, 1) == -3
+        uf.link(2, 3, -1)
+        assert uf.offset_between(1, 3) == 2
+
+    def test_unlinked_offset_is_none(self):
+        uf = OffsetUnionFind([1, 2])
+        assert uf.offset_between(1, 2) is None
+        assert not uf.connected(1, 2)
+
+    def test_redundant_link_returns_false(self):
+        uf = OffsetUnionFind([1, 2])
+        assert uf.link(1, 2, 1) is True
+        assert uf.link(1, 2, 1) is False
+
+    def test_contradictory_link_raises(self):
+        uf = OffsetUnionFind([1, 2, 3])
+        uf.link(1, 2, 1)
+        uf.link(2, 3, 1)
+        with pytest.raises(OffsetContradiction):
+            uf.link(1, 3, 5)
+
+    def test_component_members(self):
+        uf = OffsetUnionFind(range(5))
+        uf.link(0, 1, 2)
+        uf.link(1, 2, 2)
+        members = dict(uf.component(0))
+        assert members == {0: 0, 1: 2, 2: 4}
+        assert uf.n_components() == 3
+
+    def test_components_listing(self):
+        uf = OffsetUnionFind(range(4))
+        uf.link(0, 3, 1)
+        assert [0, 3] in uf.components()
+
+    def test_copy_is_independent(self):
+        uf = OffsetUnionFind([1, 2, 3])
+        uf.link(1, 2, 1)
+        clone = uf.copy()
+        clone.link(2, 3, 1)
+        assert uf.offset_between(2, 3) is None
+
+    def test_unknown_element_raises(self):
+        uf = OffsetUnionFind([1])
+        with pytest.raises(KeyError):
+            uf.find(99)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(-5, 5)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_offsets_form_consistent_potentials(self, links):
+        """After any sequence of accepted links, the recorded offsets admit a
+        consistent cycle assignment (a potential function)."""
+        uf = OffsetUnionFind(range(10))
+        accepted = []
+        for u, v, d in links:
+            if u == v:
+                continue
+            try:
+                uf.link(u, v, d)
+                accepted.append((u, v, d))
+            except OffsetContradiction:
+                pass
+        # Build potentials from the union-find and check every accepted link.
+        potential = {}
+        for element in range(10):
+            root, offset = uf.find(element)
+            potential[element] = offset
+        for u, v, d in accepted:
+            assert uf.connected(u, v)
+            assert potential[v] - potential[u] == d or uf.find(u)[0] != uf.find(v)[0]
+            if uf.find(u)[0] == uf.find(v)[0]:
+                assert uf.offset_between(u, v) == d

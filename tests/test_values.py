@@ -1,0 +1,38 @@
+"""Unit tests for repro.ir.values."""
+
+from repro.ir.values import ValueNamer
+
+
+class TestValueNamer:
+    def test_fresh_names_are_unique(self):
+        namer = ValueNamer()
+        names = [namer.fresh() for _ in range(100)]
+        assert len(set(names)) == 100
+
+    def test_prefix_override(self):
+        namer = ValueNamer()
+        assert namer.fresh("addr").startswith("addr")
+
+    def test_default_prefix(self):
+        namer = ValueNamer(prefix="t")
+        assert namer.fresh().startswith("t")
+
+    def test_membership_and_len(self):
+        namer = ValueNamer()
+        name = namer.fresh()
+        assert name in namer
+        assert "unissued" not in namer
+        assert len(namer) == 1
+
+    def test_fresh_many(self):
+        namer = ValueNamer()
+        names = list(namer.fresh_many(5))
+        assert len(names) == 5
+        assert len(namer.issued) == 5
+
+    def test_issued_returns_copy(self):
+        namer = ValueNamer()
+        namer.fresh()
+        issued = namer.issued
+        issued.add("bogus")
+        assert "bogus" not in namer

@@ -1,0 +1,269 @@
+"""Unit tests for virtual clusters, mapping and communications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vcluster import (
+    CommKind,
+    Communication,
+    CommunicationSet,
+    VCContradiction,
+    VirtualClusterGraph,
+    greedy_coloring,
+    has_clique_larger_than,
+    map_virtual_to_physical,
+    required_clusters_estimate,
+)
+
+
+class TestVirtualClusterGraph:
+    def test_initially_one_vc_per_op(self):
+        vcg = VirtualClusterGraph(range(4))
+        assert vcg.n_vcs == 4
+        assert vcg.vcs() == [frozenset({0}), frozenset({1}), frozenset({2}), frozenset({3})]
+
+    def test_fuse_merges(self):
+        vcg = VirtualClusterGraph(range(4))
+        assert vcg.fuse(0, 1) is True
+        assert vcg.same_vc(0, 1)
+        assert vcg.n_vcs == 3
+        assert vcg.fuse(0, 1) is False  # already together
+
+    def test_fuse_transitive(self):
+        vcg = VirtualClusterGraph(range(4))
+        vcg.fuse(0, 1)
+        vcg.fuse(1, 2)
+        assert vcg.same_vc(0, 2)
+        assert set(vcg.members(0)) == {0, 1, 2}
+
+    def test_incompatibility(self):
+        vcg = VirtualClusterGraph(range(3))
+        assert vcg.mark_incompatible(0, 1) is True
+        assert vcg.are_incompatible(0, 1)
+        assert vcg.mark_incompatible(0, 1) is False
+        assert vcg.n_incompatibilities() == 1
+
+    def test_fuse_incompatible_raises(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.mark_incompatible(0, 1)
+        with pytest.raises(VCContradiction):
+            vcg.fuse(0, 1)
+
+    def test_incompatible_same_vc_raises(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.fuse(0, 1)
+        with pytest.raises(VCContradiction):
+            vcg.mark_incompatible(0, 1)
+
+    def test_fusion_repoints_incompatibility_edges(self):
+        vcg = VirtualClusterGraph(range(4))
+        vcg.mark_incompatible(0, 2)
+        vcg.fuse(2, 3)
+        # 3 inherits 2's incompatibility with 0.
+        assert vcg.are_incompatible(0, 3)
+        with pytest.raises(VCContradiction):
+            vcg.fuse(0, 3)
+
+    def test_incompatibility_degree(self):
+        vcg = VirtualClusterGraph(range(4))
+        vcg.mark_incompatible(0, 1)
+        vcg.mark_incompatible(0, 2)
+        assert vcg.incompatibility_degree(0) == 2
+        assert sorted(vcg.incompatible_with(0)) == [vcg.vc_of(1), vcg.vc_of(2)]
+
+    def test_pins(self):
+        vcg = VirtualClusterGraph(range(3))
+        assert vcg.pin(0, 1) is True
+        assert vcg.pin_of(0) == 1
+        assert vcg.pin(0, 1) is False
+        with pytest.raises(VCContradiction):
+            vcg.pin(0, 2)
+
+    def test_pin_conflicts_with_incompatibility(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.mark_incompatible(0, 1)
+        vcg.pin(0, 0)
+        with pytest.raises(VCContradiction):
+            vcg.pin(1, 0)
+
+    def test_fusing_vcs_with_different_pins_raises(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.pin(0, 0)
+        vcg.pin(1, 1)
+        with pytest.raises(VCContradiction):
+            vcg.fuse(0, 1)
+
+    def test_copy_independent(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.mark_incompatible(0, 1)
+        clone = vcg.copy()
+        clone.fuse(1, 2)
+        assert not vcg.same_vc(1, 2)
+        assert clone.are_incompatible(0, 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 7), st.integers(0, 7)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_fused_vcs_never_incompatible(self, actions):
+        """Whatever sequence of accepted fusions/incompatibilities is applied,
+        no two operations of one VC are ever marked incompatible."""
+        vcg = VirtualClusterGraph(range(8))
+        for fuse, u, v in actions:
+            if u == v:
+                continue
+            try:
+                if fuse:
+                    vcg.fuse(u, v)
+                else:
+                    vcg.mark_incompatible(u, v)
+            except VCContradiction:
+                continue
+        for vc in vcg.vcs():
+            members = sorted(vc)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert not vcg.are_incompatible(a, b)
+
+
+class TestMapping:
+    def _triangle(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.mark_incompatible(0, 1)
+        vcg.mark_incompatible(1, 2)
+        vcg.mark_incompatible(0, 2)
+        return vcg
+
+    def test_greedy_coloring_triangle(self):
+        vcg = self._triangle()
+        colors = greedy_coloring(vcg)
+        assert len(set(colors.values())) == 3
+        assert required_clusters_estimate(vcg) == 3
+
+    def test_clique_detection(self):
+        vcg = self._triangle()
+        assert has_clique_larger_than(vcg, 2)
+        assert not has_clique_larger_than(vcg, 3)
+
+    def test_mapping_respects_incompatibilities(self):
+        vcg = VirtualClusterGraph(range(4))
+        vcg.mark_incompatible(0, 1)
+        mapping = map_virtual_to_physical(vcg, 2)
+        assert mapping is not None
+        assert mapping[vcg.vc_of(0)] != mapping[vcg.vc_of(1)]
+
+    def test_mapping_fails_on_large_clique(self):
+        vcg = self._triangle()
+        assert map_virtual_to_physical(vcg, 2) is None
+        assert map_virtual_to_physical(vcg, 3) is not None
+
+    def test_injective_mapping(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.fuse(0, 1)
+        mapping = map_virtual_to_physical(vcg, 4, injective=True)
+        assert mapping is not None
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_injective_mapping_fails_when_too_many_vcs(self):
+        vcg = VirtualClusterGraph(range(5))
+        assert map_virtual_to_physical(vcg, 4, injective=True) is None
+        assert map_virtual_to_physical(vcg, 4, injective=False) is not None
+
+    def test_mapping_respects_pins(self):
+        vcg = VirtualClusterGraph(range(3))
+        vcg.pin(1, 2)
+        mapping = map_virtual_to_physical(vcg, 3)
+        assert mapping[vcg.vc_of(1)] == 2
+
+    def test_mapping_rejects_invalid_pin(self):
+        vcg = VirtualClusterGraph(range(2))
+        vcg.pin(0, 5)
+        assert map_virtual_to_physical(vcg, 2) is None
+
+    def test_empty_vcg(self):
+        vcg = VirtualClusterGraph()
+        assert required_clusters_estimate(vcg) == 0
+        assert map_virtual_to_physical(vcg, 2) == {}
+
+    def test_zero_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            map_virtual_to_physical(VirtualClusterGraph(range(1)), 0)
+
+    def test_coloring_never_uses_more_than_degree_plus_one(self):
+        vcg = VirtualClusterGraph(range(6))
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]
+        for u, v in edges:
+            vcg.mark_incompatible(u, v)
+        max_degree = max(vcg.incompatibility_degree(r) for r in vcg.roots())
+        assert required_clusters_estimate(vcg) <= max_degree + 1
+
+
+class TestCommunication:
+    def test_flc_kind(self):
+        comm = Communication(10, "v0", producer=1, consumer=2)
+        assert comm.kind is CommKind.FLC
+        assert comm.is_fully_linked
+        assert comm.possible_producers() == [1]
+        assert comm.possible_consumers() == [2]
+
+    def test_partial_kinds(self):
+        p_plc = Communication(10, None, consumer=5, alternatives=((1, 5), (2, 5)))
+        assert p_plc.kind is CommKind.P_PLC
+        c_plc = Communication(11, "v1", producer=3, alternatives=((3, 6), (3, 7)))
+        assert c_plc.kind is CommKind.C_PLC
+        pc_plc = Communication(12, None, alternatives=((1, 5), (2, 6)))
+        assert pc_plc.kind is CommKind.PC_PLC
+        assert pc_plc.possible_producers() == [1, 2]
+        assert pc_plc.possible_consumers() == [5, 6]
+
+    def test_resolved(self):
+        plc = Communication(10, None, consumer=5, alternatives=((1, 5), (2, 5)))
+        flc = plc.resolved(2, 5, "v2")
+        assert flc.is_fully_linked
+        assert flc.producer == 2 and flc.value == "v2"
+        assert flc.alternatives == ()
+
+    def test_kind_is_partial_flag(self):
+        assert CommKind.FLC.is_partial is False
+        assert CommKind.P_PLC.is_partial is True
+
+
+class TestCommunicationSet:
+    def test_add_and_lookup(self):
+        comms = CommunicationSet()
+        comms.add(Communication(10, "v0", producer=1, consumer=2))
+        comms.add(Communication(11, None, consumer=3, alternatives=((1, 3), (2, 3))))
+        assert len(comms) == 2
+        assert 10 in comms
+        assert len(comms.fully_linked()) == 1
+        assert len(comms.partially_linked()) == 1
+        assert comms.for_pair(1, 2).comm_id == 10
+        assert comms.for_pair(9, 9) is None
+
+    def test_involving_pair_matches_alternatives(self):
+        comms = CommunicationSet()
+        comms.add(Communication(11, None, consumer=3, alternatives=((1, 3), (2, 3))))
+        assert [c.comm_id for c in comms.involving_pair(1, 3)] == [11]
+        assert comms.involving_pair(4, 3) == []
+
+    def test_duplicate_id_rejected(self):
+        comms = CommunicationSet()
+        comms.add(Communication(10, "v0", producer=1, consumer=2))
+        with pytest.raises(ValueError):
+            comms.add(Communication(10, "v1", producer=3, consumer=4))
+
+    def test_replace_requires_existing(self):
+        comms = CommunicationSet()
+        with pytest.raises(KeyError):
+            comms.replace(Communication(10, "v0", producer=1, consumer=2))
+
+    def test_copy_independent(self):
+        comms = CommunicationSet()
+        comms.add(Communication(10, "v0", producer=1, consumer=2))
+        clone = comms.copy()
+        clone.add(Communication(11, "v1", producer=1, consumer=3))
+        assert len(comms) == 1

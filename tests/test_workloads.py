@@ -1,0 +1,172 @@
+"""Tests for the synthetic workload generator, profiles and suites."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import OpClass, validate_superblock
+from repro.workloads import (
+    GeneratorConfig,
+    MEDIABENCH_PROFILES,
+    SPECINT_PROFILES,
+    SuperblockGenerator,
+    all_kernels,
+    all_profiles,
+    build_benchmark,
+    build_suite,
+    profile_by_name,
+    train_variant,
+)
+
+
+class TestGeneratorConfig:
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_ops=10, max_ops=5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mem_fraction=0.8, fp_fraction=0.4)
+        with pytest.raises(ValueError):
+            GeneratorConfig(ilp=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(mem_fraction=1.5)
+
+
+class TestSuperblockGenerator:
+    def test_generated_blocks_are_valid(self):
+        generator = SuperblockGenerator(GeneratorConfig(min_ops=6, max_ops=20), seed=3)
+        for block in generator.generate_many("t", 20):
+            validate_superblock(block)
+
+    def test_determinism(self):
+        config = GeneratorConfig(min_ops=6, max_ops=20)
+        first = SuperblockGenerator(config, seed=5).generate("x", 1)
+        second = SuperblockGenerator(config, seed=5).generate("x", 1)
+        assert first.size == second.size
+        assert [str(op) for op in first.operations] == [str(op) for op in second.operations]
+        assert first.execution_count == second.execution_count
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig(min_ops=8, max_ops=24)
+        blocks_a = SuperblockGenerator(config, seed=1).generate_many("x", 5)
+        blocks_b = SuperblockGenerator(config, seed=2).generate_many("x", 5)
+        assert any(a.size != b.size for a, b in zip(blocks_a, blocks_b)) or any(
+            str(a.operations) != str(b.operations) for a, b in zip(blocks_a, blocks_b)
+        )
+
+    def test_size_bounds_respected(self):
+        config = GeneratorConfig(min_ops=10, max_ops=14, exit_every=100)
+        generator = SuperblockGenerator(config, seed=7)
+        for block in generator.generate_many("sized", 10):
+            non_branch = sum(1 for op in block.operations if not op.is_branch)
+            assert 10 <= non_branch <= 14
+
+    def test_exit_probabilities_sum_to_one(self):
+        generator = SuperblockGenerator(GeneratorConfig(exit_every=3), seed=11)
+        for block in generator.generate_many("exits", 10):
+            assert block.total_exit_probability == pytest.approx(1.0, abs=1e-6)
+
+    def test_class_mix_follows_fractions(self):
+        config = GeneratorConfig(min_ops=30, max_ops=30, mem_fraction=0.5, fp_fraction=0.0)
+        generator = SuperblockGenerator(config, seed=13)
+        blocks = generator.generate_many("mix", 10)
+        mem = sum(b.count_by_class().get(OpClass.MEM, 0) for b in blocks)
+        total = sum(sum(1 for op in b.operations if not op.is_branch) for b in blocks)
+        assert 0.3 < mem / total < 0.7
+        assert all(b.count_by_class().get(OpClass.FP, 0) == 0 for b in blocks)
+
+    @given(st.integers(0, 2**31), st.floats(1.0, 6.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_seed_produces_valid_blocks(self, seed, ilp):
+        config = GeneratorConfig(min_ops=5, max_ops=15, ilp=ilp)
+        block = SuperblockGenerator(config, seed=seed).generate("prop")
+        validate_superblock(block)
+        assert block.exits
+
+
+class TestProfiles:
+    def test_fourteen_profiles(self):
+        assert len(SPECINT_PROFILES) == 7
+        assert len(MEDIABENCH_PROFILES) == 7
+        assert len(all_profiles()) == 14
+        names = [p.name for p in all_profiles()]
+        assert len(set(names)) == 14
+
+    def test_paper_benchmarks_present(self):
+        for name in ("099.go", "132.ijpeg", "134.perl", "epicdec", "mpeg2enc", "rasta"):
+            assert profile_by_name(name).name == name
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("500.perlbench")
+
+    def test_media_blocks_are_wider_than_spec(self):
+        spec = profile_by_name("130.li").generator
+        media = profile_by_name("mpeg2enc").generator
+        assert media.max_ops > spec.max_ops
+        assert media.ilp > spec.ilp
+
+    def test_scaled(self):
+        profile = profile_by_name("099.go").scaled(3)
+        assert profile.n_blocks == 3
+        assert profile.name == "099.go"
+
+    def test_invalid_suite_rejected(self):
+        from repro.workloads.profiles import BenchmarkProfile
+
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", suite="desktop", generator=GeneratorConfig())
+
+
+class TestSuites:
+    def test_build_benchmark(self):
+        workload = build_benchmark(profile_by_name("129.compress").scaled(4))
+        assert workload.n_blocks == 4
+        assert workload.suite == "specint"
+        assert workload.total_operations > 0
+        for block in workload:
+            validate_superblock(block)
+
+    def test_build_suite_subset(self):
+        suite = build_suite(profiles=all_profiles()[:3], blocks_per_benchmark=2)
+        assert len(suite) == 3
+        assert all(w.n_blocks == 2 for w in suite)
+
+    def test_train_variant_preserves_structure(self):
+        workload = build_benchmark(profile_by_name("132.ijpeg").scaled(3))
+        train = train_variant(workload)
+        assert train.n_blocks == workload.n_blocks
+        for ref_block, train_block in zip(workload.blocks, train.blocks):
+            assert ref_block.size == train_block.size
+            assert ref_block.exit_ids == train_block.exit_ids
+            assert train_block.total_exit_probability == pytest.approx(1.0, abs=1e-6)
+
+    def test_train_variant_changes_profile(self):
+        workload = build_benchmark(profile_by_name("132.ijpeg").scaled(3))
+        train = train_variant(workload, noise=0.5)
+        changed = False
+        for ref_block, train_block in zip(workload.blocks, train.blocks):
+            for exit_id in ref_block.exit_ids:
+                if abs(ref_block.exit_probability(exit_id) - train_block.exit_probability(exit_id)) > 1e-6:
+                    changed = True
+        assert changed
+
+    def test_train_variant_deterministic(self):
+        workload = build_benchmark(profile_by_name("132.ijpeg").scaled(2))
+        a = train_variant(workload, seed=3)
+        b = train_variant(workload, seed=3)
+        for block_a, block_b in zip(a.blocks, b.blocks):
+            assert block_a.execution_count == block_b.execution_count
+
+
+class TestKernels:
+    def test_all_kernels_valid(self):
+        kernels = all_kernels()
+        assert len(kernels) == 5
+        for block in kernels.values():
+            validate_superblock(block)
+
+    def test_fir_requires_two_taps(self):
+        from repro.workloads import fir_kernel
+
+        with pytest.raises(ValueError):
+            fir_kernel(taps=1)
