@@ -13,9 +13,12 @@ CI or at a larger scale for a closer look:
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+try:  # Installed package (pip install -e .) takes precedence.
+    import repro  # noqa: F401
+except ImportError:  # Fallback: make the src layout importable in place.
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
 
 import pytest
 

@@ -9,6 +9,9 @@ editable install is not possible (e.g. offline machines without the
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+try:  # Installed package (pip install -e .) takes precedence.
+    import repro  # noqa: F401
+except ImportError:  # Fallback: make the src layout importable in place.
+    _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

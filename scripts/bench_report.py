@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Hot-path benchmark report: emit ``BENCH_vcs.json``.
+
+Runs the proposed scheduler over the paper's three machine configurations
+(2c-8i-1lat, 4c-16i-1lat, 4c-16i-2lat) on the hand-written kernels plus a
+seeded synthetic workload, and records for each configuration and probing
+mode (trail vs legacy copy):
+
+* wall time and schedules/second,
+* deterministic DP work (deduction rule firings),
+* trail counters (probes, rollbacks, redos, copies avoided),
+* total AWCT (quality invariance check).
+
+Optionally (``--baseline-rev``, default the repository's seed commit) the
+same workload is also run against a past git revision in a subprocess, so
+the report demonstrates the wall-time speedup of the current hot path and
+verifies that the produced schedules are byte-identical to the baseline's.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py            # full report
+    PYTHONPATH=src python scripts/bench_report.py --skip-baseline
+    REPRO_BENCH_BLOCKS=4 PYTHONPATH=src python scripts/bench_report.py
+
+The perf smoke job of CI runs this with ``REPRO_BENCH_BLOCKS=1`` and
+uploads the JSON as an artifact, tracking the trajectory from PR 1 onward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tarfile
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: The v0 seed revision: copy-per-probe deduction, linear rule dispatch.
+DEFAULT_BASELINE_REV = "746df46"
+
+# --------------------------------------------------------------------------- #
+# the measurement driver (run in-process for the current tree and as a
+# subprocess for the baseline revision — the same code path for fairness)
+# --------------------------------------------------------------------------- #
+DRIVER = r"""
+import json, sys, time
+
+
+def build_workload(n_synth):
+    from repro.workloads import (
+        paper_figure1_block, fir_kernel, dot_product_kernel,
+        dct_butterfly_kernel, string_search_kernel,
+    )
+    from repro.workloads.synth import SuperblockGenerator, GeneratorConfig
+
+    blocks = [
+        paper_figure1_block(),
+        fir_kernel(taps=3),
+        dot_product_kernel(width=3),
+        dct_butterfly_kernel(),
+        string_search_kernel(),
+    ]
+    gen = SuperblockGenerator(GeneratorConfig(min_ops=24, max_ops=48), seed=7)
+    blocks += gen.generate_many("bench-synth", n_synth)
+    return blocks
+
+
+def make_scheduler(mode):
+    from repro.scheduler import VirtualClusterScheduler
+    if mode == "default":
+        return VirtualClusterScheduler()
+    from repro.scheduler import VcsConfig
+    try:
+        return VirtualClusterScheduler(VcsConfig(use_trail=(mode == "trail")))
+    except TypeError:  # revision predates the use_trail knob
+        return VirtualClusterScheduler()
+
+
+def main(mode, n_synth, out_path):
+    from repro.machine import paper_2c_8i_1lat, paper_4c_16i_1lat, paper_4c_16i_2lat
+
+    machines = [paper_2c_8i_1lat(), paper_4c_16i_1lat(), paper_4c_16i_2lat()]
+    blocks = build_workload(n_synth)
+    report = {"mode": mode, "machines": []}
+    for machine in machines:
+        runs, work, fingerprints = 0, 0, []
+        stats_total = {}
+        awct_total = 0.0
+        t0 = time.perf_counter()
+        for block in blocks:
+            result = make_scheduler(mode).schedule(block, machine)
+            runs += 1
+            work += result.work
+            awct_total += result.awct if result.ok else 0.0
+            for key, value in getattr(result, "stats", {}).items():
+                stats_total[key] = stats_total.get(key, 0) + value
+            s = result.schedule
+            fingerprints.append([
+                block.name,
+                sorted(s.cycles.items()) if s else None,
+                sorted(s.clusters.items()) if s else None,
+                sorted(
+                    (c.value, c.producer, c.cycle, c.src_cluster, c.dst_cluster)
+                    for c in (s.comms if s else [])
+                ),
+            ])
+        wall = time.perf_counter() - t0
+        report["machines"].append({
+            "machine": machine.name,
+            "wall_time_s": wall,
+            "schedules": runs,
+            "schedules_per_sec": runs / wall if wall > 0 else None,
+            "dp_work": work,
+            "awct_total": awct_total,
+            "stats": stats_total,
+            "fingerprints": fingerprints,
+        })
+    json.dump(report, open(out_path, "w"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], int(sys.argv[2]), sys.argv[3])
+"""
+
+
+def run_driver(python_path: str, mode: str, n_synth: int) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        driver = Path(tmp) / "driver.py"
+        out = Path(tmp) / "out.json"
+        driver.write_text(DRIVER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = python_path
+        subprocess.run(
+            [sys.executable, str(driver), mode, str(n_synth), str(out)],
+            check=True,
+            env=env,
+        )
+        return json.loads(out.read_text())
+
+
+def export_revision(rev: str) -> tempfile.TemporaryDirectory:
+    """Materialise *rev* into a temporary directory via ``git archive``."""
+    tmp = tempfile.TemporaryDirectory(prefix=f"bench-baseline-{rev}-")
+    archive = subprocess.run(
+        ["git", "archive", rev],
+        check=True,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+    )
+    with tempfile.NamedTemporaryFile(suffix=".tar") as tar_file:
+        tar_file.write(archive.stdout)
+        tar_file.flush()
+        with tarfile.open(tar_file.name) as tar:
+            tar.extractall(tmp.name)
+    return tmp
+
+
+def strip_fingerprints(report: dict) -> dict:
+    return {
+        **report,
+        "machines": [
+            {k: v for k, v in m.items() if k != "fingerprints"}
+            for m in report["machines"]
+        ],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_vcs.json"))
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_BLOCKS", "2")),
+        help="synthetic superblocks added to the kernel workload",
+    )
+    parser.add_argument(
+        "--baseline-rev",
+        default=DEFAULT_BASELINE_REV,
+        help="git revision to compare against (seed commit by default)",
+    )
+    parser.add_argument("--skip-baseline", action="store_true")
+    args = parser.parse_args()
+
+    src = str(REPO_ROOT / "src")
+    print(f"[bench] current tree, trail mode ({args.blocks} synthetic blocks)...")
+    trail = run_driver(src, "trail", args.blocks)
+    print("[bench] current tree, copy mode...")
+    copy = run_driver(src, "copy", args.blocks)
+
+    baseline = None
+    baseline_identical = None
+    if not args.skip_baseline:
+        try:
+            tree = export_revision(args.baseline_rev)
+        except subprocess.CalledProcessError:
+            print(f"[bench] baseline revision {args.baseline_rev!r} unavailable; skipping")
+        else:
+            with tree:
+                print(f"[bench] baseline revision {args.baseline_rev}...")
+                baseline = run_driver(str(Path(tree.name) / "src"), "default", args.blocks)
+            baseline_identical = all(
+                b["fingerprints"] == t["fingerprints"]
+                for b, t in zip(baseline["machines"], trail["machines"])
+            )
+
+    def total_wall(report):
+        return sum(m["wall_time_s"] for m in report["machines"])
+
+    trail_wall, copy_wall = total_wall(trail), total_wall(copy)
+    summary = {
+        "generated_unix": time.time(),
+        "workload": {
+            "kernels": 5,
+            "synthetic_blocks": args.blocks,
+            "machines": [m["machine"] for m in trail["machines"]],
+        },
+        "trail": strip_fingerprints(trail),
+        "copy": strip_fingerprints(copy),
+        "trail_vs_copy_speedup": copy_wall / trail_wall if trail_wall else None,
+        "schedules_identical_trail_vs_copy": all(
+            t["fingerprints"] == c["fingerprints"]
+            for t, c in zip(trail["machines"], copy["machines"])
+        ),
+    }
+    if baseline is not None:
+        base_wall = total_wall(baseline)
+        summary["baseline"] = {
+            "rev": args.baseline_rev,
+            **strip_fingerprints(baseline),
+        }
+        summary["baseline_vs_current_speedup"] = (
+            base_wall / trail_wall if trail_wall else None
+        )
+        summary["schedules_identical_vs_baseline"] = baseline_identical
+
+    Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
+
+    print(f"\n[bench] wrote {args.output}")
+    print(f"[bench] trail {trail_wall:.2f}s | copy {copy_wall:.2f}s | "
+          f"trail-vs-copy {summary['trail_vs_copy_speedup']:.2f}x | "
+          f"identical={summary['schedules_identical_trail_vs_copy']}")
+    if baseline is not None:
+        print(f"[bench] baseline({args.baseline_rev}) {total_wall(baseline):.2f}s | "
+              f"speedup {summary['baseline_vs_current_speedup']:.2f}x | "
+              f"byte-identical={baseline_identical}")
+    copies_avoided = sum(
+        m["stats"].get("copies_avoided", 0) for m in trail["machines"]
+    )
+    print(f"[bench] copies avoided by the trail: {copies_avoided}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

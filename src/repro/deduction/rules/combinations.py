@@ -32,14 +32,25 @@ class CombinationWindowRule(Rule):
         if not state.has_op(op_id) or state.is_comm(op_id):
             return []
         out: List[Change] = []
+        estart, lstart = state.estart, state.lstart
+        chosen = state._chosen
         for other in state.sgraph.neighbors(op_id):
-            if state.chosen_distance(op_id, other) is not None:
+            key = (op_id, other) if op_id < other else (other, op_id)
+            if key in chosen:
                 # The pair is already rigid; an empty window would have been a
                 # bound contradiction instead.
                 continue
-            for distance in state.remaining_combinations(op_id, other):
-                a, b = pair_key(op_id, other)
-                low, high = state.combination_window(a, b, distance)
+            a, b = key
+            ea, eb = estart[a], estart[b]
+            la, lb = lstart[a], lstart[b]
+            for distance in state.remaining_combinations(a, b):
+                # Inlined SchedulingState.combination_window (hot path):
+                # low = max(estart[a], estart[b]-d), high = min(lstart[a],
+                # lstart[b]-d) with (a, b) already in pair_key order.  Keep
+                # in sync with state.combination_window, which the scoring
+                # side (combination_slack / pair_slack) uses.
+                low = ea if ea >= eb - distance else eb - distance
+                high = la if la <= lb - distance else lb - distance
                 if low > high:
                     out += state.discard_combination(a, b, distance)
         return out
@@ -67,8 +78,9 @@ class MustOverlapRule(Rule):
                 return []
             pairs = [(op_id, other) for other in state.sgraph.neighbors(op_id)]
         out: List[Change] = []
+        chosen = state._chosen
         for u, v in pairs:
-            if state.chosen_distance(u, v) is not None:
+            if ((u, v) if u < v else (v, u)) in chosen:
                 continue
             if not state.must_overlap(u, v):
                 continue

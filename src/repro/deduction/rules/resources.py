@@ -25,7 +25,7 @@ from repro.ir.operation import OpClass
 
 
 def _fixed_ops_at(state: SchedulingState, cycle: int) -> List[int]:
-    return [i for i in state.all_ids if state.cycle_of(i) == cycle]
+    return state.fixed_ops_at(cycle)
 
 
 class FixedCycleResourceRule(Rule):
@@ -224,17 +224,16 @@ class ClassWindowPressureRule(Rule):
         if isinstance(change, BoundChange) and change.which != "lstart":
             return []
         machine = state.machine
-        by_class: Dict[OpClass, List[int]] = {}
-        for op_id in state.all_ids:
-            if state.lstart[op_id] == INFINITY:
+        estart, lstart = state.estart, state.lstart
+        for op_class, ids in state.ids_by_class().items():
+            members = [i for i in ids if lstart[i] != INFINITY]
+            if not members:
                 continue
-            by_class.setdefault(state.op(op_id).op_class, []).append(op_id)
-        for op_class, members in by_class.items():
             capacity = machine.per_cycle_capacity(op_class)
             if capacity == 0:
                 raise Contradiction(f"machine cannot execute {op_class} operations")
-            low = min(state.estart[i] for i in members)
-            high = max(int(state.lstart[i]) for i in members)
+            low = min(estart[i] for i in members)
+            high = max(int(lstart[i]) for i in members)
             window = high - low + 1
             # A transfer on a non-pipelined bus holds it for several cycles,
             # so each copy consumes `occupancy` bus-cycles; the usable bus

@@ -15,6 +15,20 @@ representation coherent, and return the corresponding change events so the
 deduction engine can feed them back to its rules.  Mutators raise
 :class:`~repro.deduction.consequence.Contradiction` when the change is
 impossible, which is exactly the paper's notion of a contradiction.
+
+Every mutation is recorded on a :class:`~repro.trail.Trail`, so a candidate
+decision can be probed **in place** and undone exactly::
+
+    mark = state.checkpoint()
+    try_some_decision(state)   # arbitrary mutators / deduction rules
+    state.rollback(mark)       # state is observably identical to before
+
+This replaces the old copy-per-probe scheme (one full dict/set/union-find/
+VCG copy per candidate, per stage, per AWCT target) with the trail-based
+apply-then-undo of SAT/CP solvers.  The state additionally maintains
+dirty-tracked caches for the scheduler's candidate selection: the set of
+still-undecided scheduling-graph pairs, the set of unfixed operations, and
+the operations fixed at each cycle — all kept coherent by the same trail.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from repro.machine.machine import ClusteredMachine
 from repro.sgraph.combination import pair_key
 from repro.sgraph.components import OffsetContradiction, OffsetUnionFind
 from repro.sgraph.scheduling_graph import SchedulingGraph
+from repro.trail import Trail
 from repro.vcluster.communication import Communication, CommunicationSet
 from repro.vcluster.vcg import VCContradiction, VirtualClusterGraph
 
@@ -60,14 +75,18 @@ class SchedulingState:
         self.machine = machine
         self.sgraph = sgraph
 
-        self.estart: Dict[int, int] = dict(compute_estart(block.graph))
-        self.lstart: Dict[int, float] = {op_id: INFINITY for op_id in block.op_ids}
+        base_estart = (
+            sgraph.base_estart if sgraph.block is block else compute_estart(block.graph)
+        )
+        self._original_ids: List[int] = block.op_ids
+        self.estart: Dict[int, int] = dict(base_estart)
+        self.lstart: Dict[int, float] = {op_id: INFINITY for op_id in self._original_ids}
 
         self._chosen: Dict[Tuple[int, int], int] = {}
         self._discarded: Dict[Tuple[int, int], Set[int]] = {}
 
-        self.components = OffsetUnionFind(block.op_ids)
-        self.vcg = VirtualClusterGraph(block.op_ids)
+        self.components = OffsetUnionFind(self._original_ids)
+        self.vcg = VirtualClusterGraph(self._original_ids)
         self.comms = CommunicationSet()
 
         # Extra dependence edges (src, dst, latency) created for communications.
@@ -77,9 +96,54 @@ class SchedulingState:
         # Single fully-linked communication per value (the paper's assumption
         # that each value is communicated at most once).
         self._value_flc: Dict[str, int] = {}
-        self._next_comm_id = (max(block.op_ids) + 1) if block.op_ids else 0
+        self._next_comm_id = (max(self._original_ids) + 1) if self._original_ids else 0
 
         self.exit_deadlines: Dict[int, int] = {}
+
+        # Dirty-tracked candidate caches (kept coherent by the mutators and
+        # restored by the trail on rollback).
+        self._undecided_pairs: Set[Tuple[int, int]] = set(sgraph.pairs())
+        self._unfixed: Set[int] = set(self._original_ids)
+        self._fixed_at: Dict[int, Set[int]] = {}
+        self._ids_cache: Optional[List[int]] = None
+        self._comm_ids_cache: Optional[List[int]] = None
+        self._class_ids_cache: Optional[Dict[OpClass, List[int]]] = None
+        # Operation and latency lookup tables over originals + live comms
+        # (one dict hit on the hottest rule paths instead of two calls).
+        self._ops: Dict[int, Operation] = {i: block.op(i) for i in self._original_ids}
+        self._latency: Dict[int, int] = {
+            i: op.latency for i, op in self._ops.items()
+        }
+
+        # The mutation trail; attached last so construction is not recorded.
+        self.trail = Trail()
+        self.components.attach_trail(self.trail)
+        self.vcg.attach_trail(self.trail)
+        self.comms.attach_trail(self.trail)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / rollback
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> int:
+        """Mark the current trail position for a later :meth:`rollback`."""
+        return self.trail.mark()
+
+    def rollback(self, mark: int) -> int:
+        """Undo every mutation since *mark*; returns entries undone."""
+        undone = self.trail.rollback(mark)
+        self._invalidate_id_caches()
+        return undone
+
+    def rollback_capture(self, mark: int) -> List[tuple]:
+        """Undo every mutation since *mark*, returning a redo log."""
+        log = self.trail.rollback_capture(mark)
+        self._invalidate_id_caches()
+        return log
+
+    def redo(self, log: List[tuple]) -> None:
+        """Re-apply a redo log captured at the same state this one is in."""
+        self.trail.redo(log)
+        self._invalidate_id_caches()
 
     # ------------------------------------------------------------------ #
     # copying
@@ -89,6 +153,7 @@ class SchedulingState:
         clone.block = self.block
         clone.machine = self.machine
         clone.sgraph = self.sgraph
+        clone._original_ids = self._original_ids
         clone.estart = dict(self.estart)
         clone.lstart = dict(self.lstart)
         clone._chosen = dict(self._chosen)
@@ -101,6 +166,18 @@ class SchedulingState:
         clone._value_flc = dict(self._value_flc)
         clone._next_comm_id = self._next_comm_id
         clone.exit_deadlines = dict(self.exit_deadlines)
+        clone._undecided_pairs = set(self._undecided_pairs)
+        clone._unfixed = set(self._unfixed)
+        clone._fixed_at = {cycle: set(ops) for cycle, ops in self._fixed_at.items()}
+        clone._ids_cache = None
+        clone._comm_ids_cache = None
+        clone._class_ids_cache = None
+        clone._ops = dict(self._ops)
+        clone._latency = dict(self._latency)
+        clone.trail = Trail()
+        clone.components.attach_trail(clone.trail)
+        clone.vcg.attach_trail(clone.trail)
+        clone.comms.attach_trail(clone.trail)
         return clone
 
     # ------------------------------------------------------------------ #
@@ -117,24 +194,48 @@ class SchedulingState:
         return op_id in self.estart
 
     def op(self, op_id: int) -> Operation:
-        if op_id in self._comm_ops:
-            return self._comm_ops[op_id]
-        return self.block.op(op_id)
+        return self._ops[op_id]
 
     @property
     def original_ids(self) -> List[int]:
-        return self.block.op_ids
+        return self._original_ids
 
     @property
     def comm_ids(self) -> List[int]:
-        return sorted(self._comm_ops)
+        ids = self._comm_ids_cache
+        if ids is None:
+            ids = self._comm_ids_cache = sorted(self._comm_ops)
+        return ids
 
     @property
     def all_ids(self) -> List[int]:
-        return self.block.op_ids + sorted(self._comm_ops)
+        ids = self._ids_cache
+        if ids is None:
+            ids = self._ids_cache = self._original_ids + self.comm_ids
+        return ids
+
+    def _invalidate_id_caches(self) -> None:
+        self._ids_cache = None
+        self._comm_ids_cache = None
+        self._class_ids_cache = None
+
+    def ids_by_class(self) -> Dict[OpClass, List[int]]:
+        """Live operation ids grouped by operation class.
+
+        Rebuilt lazily when communications are added or dropped (and on
+        rollback); grouping order follows :attr:`all_ids`, so consumers see
+        the same iteration order as a fresh scan."""
+        groups = self._class_ids_cache
+        if groups is None:
+            groups = {}
+            ops = self._ops
+            for op_id in self.all_ids:
+                groups.setdefault(ops[op_id].op_class, []).append(op_id)
+            self._class_ids_cache = groups
+        return groups
 
     def latency(self, op_id: int) -> int:
-        return self.op(op_id).latency
+        return self._latency[op_id]
 
     # ------------------------------------------------------------------ #
     # dependence structure including communication edges
@@ -183,17 +284,54 @@ class SchedulingState:
         finite = [int(v) for v in self.lstart.values() if v != INFINITY]
         return max(finite) if finite else 0
 
+    def _mark_fixed(self, op_id: int, cycle: int) -> None:
+        """Maintain the unfixed/fixed-at caches when a window collapses."""
+        trail = self.trail
+        trail.discard_from_set(self._unfixed, op_id)
+        bucket = self._fixed_at.get(cycle)
+        if bucket is None:
+            bucket = set()
+            trail.set_item(self._fixed_at, cycle, bucket)
+        trail.add_to_set(bucket, op_id)
+
+    def unfixed_ids(self, communications: bool = False) -> List[int]:
+        """Operations whose issue cycle is not yet fixed.
+
+        With ``communications=True`` only copy operations are returned,
+        otherwise only original operations.  Backed by a dirty-tracked set,
+        so the cost is proportional to the unfixed population instead of the
+        whole block.
+
+        The list is in **no particular order** (raw set iteration, which
+        differs between trail rollbacks and fresh copies): callers that pick
+        one element must apply a total-order tie-break, as
+        ``candidates.lowest_slack_operation`` does with ``(slack, op_id)`` —
+        otherwise trail and copy probing could diverge."""
+        comm_ops = self._comm_ops
+        if communications:
+            return [i for i in self._unfixed if i in comm_ops]
+        return [i for i in self._unfixed if i not in comm_ops]
+
+    def fixed_ops_at(self, cycle: int) -> List[int]:
+        """Operations (original and copies) fixed at *cycle*, ascending."""
+        bucket = self._fixed_at.get(cycle)
+        if not bucket:
+            return []
+        return sorted(bucket)
+
     def set_estart(self, op_id: int, value: int) -> List[Change]:
         current = self.estart[op_id]
         if value <= current:
             return []
-        if value > self.lstart[op_id]:
+        lstart = self.lstart[op_id]
+        if value > lstart:
             raise Contradiction(
-                f"estart of {op_id} would become {value} > lstart {self.lstart[op_id]}"
+                f"estart of {op_id} would become {value} > lstart {lstart}"
             )
-        self.estart[op_id] = value
+        self.trail.set_item(self.estart, op_id, value)
         changes: List[Change] = [BoundChange(op_id, "estart", value)]
-        if self.lstart[op_id] == value:
+        if lstart == value:
+            self._mark_fixed(op_id, value)
             changes.append(CycleFixed(op_id, value))
         return changes
 
@@ -201,13 +339,15 @@ class SchedulingState:
         current = self.lstart[op_id]
         if value >= current:
             return []
-        if value < self.estart[op_id]:
+        estart = self.estart[op_id]
+        if value < estart:
             raise Contradiction(
-                f"lstart of {op_id} would become {value} < estart {self.estart[op_id]}"
+                f"lstart of {op_id} would become {value} < estart {estart}"
             )
-        self.lstart[op_id] = value
+        self.trail.set_item(self.lstart, op_id, value)
         changes: List[Change] = [BoundChange(op_id, "lstart", value)]
-        if self.estart[op_id] == value:
+        if estart == value:
+            self._mark_fixed(op_id, value)
             changes.append(CycleFixed(op_id, value))
         return changes
 
@@ -246,22 +386,21 @@ class SchedulingState:
         key = pair_key(u, v)
         if key in self._chosen:
             return []
-        discarded = self._discarded.get(key, set())
-        return [
-            c.distance
-            for c in self.sgraph.combinations(*key)
-            if c.distance not in discarded
-        ]
+        distances = self.sgraph.distances(*key)
+        discarded = self._discarded.get(key)
+        if not discarded:
+            return list(distances)
+        return [d for d in distances if d not in discarded]
 
     def is_pair_decided(self, u: int, v: int) -> bool:
         key = pair_key(u, v)
         if key in self._chosen:
             return True
-        return not self.remaining_combinations(*key)
+        return key not in self._undecided_pairs
 
     def untreated_pairs(self) -> List[Tuple[int, int]]:
         """Pairs of the scheduling graph not yet decided."""
-        return [pair for pair in self.sgraph.pairs() if not self.is_pair_decided(*pair)]
+        return sorted(self._undecided_pairs)
 
     def chosen_combinations(self) -> Dict[Tuple[int, int], int]:
         return dict(self._chosen)
@@ -271,12 +410,12 @@ class SchedulingState:
         if key != (u, v):
             distance = -distance
             u, v = key
-        valid = {c.distance for c in self.sgraph.combinations(u, v)}
+        valid = self.sgraph.distances(u, v)
         if distance not in valid:
             raise Contradiction(
                 f"distance {distance} is not a combination of pair ({u}, {v})"
             )
-        if distance in self._discarded.get(key, set()):
+        if distance in self._discarded.get(key, ()):
             raise Contradiction(
                 f"combination ({u}, {v})={distance} chosen but already discarded"
             )
@@ -287,10 +426,11 @@ class SchedulingState:
                     f"pair ({u}, {v}) already has combination {already}, cannot choose {distance}"
                 )
             return []
-        self._chosen[key] = distance
+        self.trail.set_item(self._chosen, key, distance)
+        self.trail.discard_from_set(self._undecided_pairs, key)
         changes: List[Change] = [CombinationChosen(u, v, distance)]
         # All other combinations of the pair are implicitly discarded.
-        for other in sorted(valid - {distance}):
+        for other in sorted(set(valid) - {distance}):
             changes += self._discard(key, other)
         # The pair now forms (part of) a connected component.
         try:
@@ -300,10 +440,20 @@ class SchedulingState:
         return changes
 
     def _discard(self, key: Tuple[int, int], distance: int) -> List[Change]:
-        bucket = self._discarded.setdefault(key, set())
+        bucket = self._discarded.get(key)
+        if bucket is None:
+            bucket = set()
+            self.trail.set_item(self._discarded, key, bucket)
         if distance in bucket:
             return []
-        bucket.add(distance)
+        self.trail.add_to_set(bucket, distance)
+        if (
+            key not in self._chosen
+            and key in self._undecided_pairs
+            and len(bucket) == len(self.sgraph.distances(*key))
+        ):
+            # Every combination of the pair is now ruled out: it is decided.
+            self.trail.discard_from_set(self._undecided_pairs, key)
         return [CombinationDiscarded(key[0], key[1], distance)]
 
     def discard_combination(self, u: int, v: int, distance: int) -> List[Change]:
@@ -315,8 +465,7 @@ class SchedulingState:
             raise Contradiction(
                 f"combination ({u}, {v})={distance} must be discarded but is chosen"
             )
-        valid = {c.distance for c in self.sgraph.combinations(u, v)}
-        if distance not in valid:
+        if distance not in self.sgraph.distances(u, v):
             return []
         return self._discard(key, distance)
 
@@ -350,6 +499,8 @@ class SchedulingState:
         if key != (u, v):
             distance = -distance
         a, b = key
+        # Mirrored inline by CombinationWindowRule on the hot path — keep
+        # the two formulas in sync.
         low = max(self.estart[a], self.estart[b] - distance)
         high = min(self.lstart[a], self.lstart[b] - distance)
         return low, high
@@ -430,6 +581,7 @@ class SchedulingState:
 
     def add_flc(self, producer: int, consumer: int, value: str) -> List[Change]:
         """Create (or reuse) the fully linked communication for *value*."""
+        trail = self.trail
         existing = self._value_flc.get(value)
         if existing is not None:
             comm = self.comms.get(existing)
@@ -438,7 +590,9 @@ class SchedulingState:
                 # The same transferred value serves another consumer: the
                 # consumer simply reads the communicated copy, so only the
                 # timing edge is added.
-                self._comm_edges.append((existing, consumer, self.bus_latency))
+                trail.append_to_list(
+                    self._comm_edges, (existing, consumer, self.bus_latency)
+                )
                 changes += self.set_estart(
                     consumer, self.estart[existing] + self.bus_latency
                 )
@@ -447,10 +601,10 @@ class SchedulingState:
         comm_id = self._new_comm_id()
         comm = Communication(comm_id=comm_id, value=value, producer=producer, consumer=consumer)
         self.comms.add(comm)
-        self._comm_ops[comm_id] = make_copy(comm_id, value, latency=self.bus_latency)
-        self._value_flc[value] = comm_id
-        self._comm_edges.append((producer, comm_id, self.latency(producer)))
-        self._comm_edges.append((comm_id, consumer, self.bus_latency))
+        self._register_comm_op(comm_id, make_copy(comm_id, value, latency=self.bus_latency))
+        trail.set_item(self._value_flc, value, comm_id)
+        trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
+        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.bus_latency))
 
         earliest = self.estart[producer] + self.latency(producer)
         latest = self.lstart[consumer] - self.bus_latency
@@ -458,11 +612,14 @@ class SchedulingState:
             raise Contradiction(
                 f"no room for communication of {value!r} between {producer} and {consumer}"
             )
-        self.estart[comm_id] = earliest
-        self.lstart[comm_id] = latest
+        trail.set_item(self.estart, comm_id, earliest)
+        trail.set_item(self.lstart, comm_id, latest)
         changes = [CommCreated(comm_id)]
         if earliest == latest:
+            self._mark_fixed(comm_id, earliest)
             changes.append(CycleFixed(comm_id, earliest))
+        else:
+            trail.add_to_set(self._unfixed, comm_id)
         return changes
 
     def add_plc(
@@ -480,6 +637,7 @@ class SchedulingState:
         for comm in self.comms.partially_linked():
             if set(comm.alternatives) == set(alternatives):
                 return []
+        trail = self.trail
         comm_id = self._new_comm_id()
         comm = Communication(
             comm_id=comm_id,
@@ -489,7 +647,9 @@ class SchedulingState:
             alternatives=alternatives,
         )
         self.comms.add(comm)
-        self._comm_ops[comm_id] = make_copy(comm_id, value or f"plc{comm_id}", latency=self.bus_latency)
+        self._register_comm_op(
+            comm_id, make_copy(comm_id, value or f"plc{comm_id}", latency=self.bus_latency)
+        )
 
         earliest = min(
             self.estart[p] + self.latency(p) for p in comm.possible_producers()
@@ -501,11 +661,14 @@ class SchedulingState:
             raise Contradiction(
                 f"no room for partially linked communication over {alternatives}"
             )
-        self.estart[comm_id] = earliest
-        self.lstart[comm_id] = latest
+        trail.set_item(self.estart, comm_id, earliest)
+        trail.set_item(self.lstart, comm_id, latest)
         changes = [CommCreated(comm_id)]
         if earliest == latest:
+            self._mark_fixed(comm_id, earliest)
             changes.append(CycleFixed(comm_id, earliest))
+        else:
+            trail.add_to_set(self._unfixed, comm_id)
         return changes
 
     def resolve_plc(self, comm_id: int, producer: int, consumer: int, value: str) -> List[Change]:
@@ -520,9 +683,10 @@ class SchedulingState:
             return [CommResolved(comm_id)]
         resolved = comm.resolved(producer, consumer, value)
         self.comms.replace(resolved)
-        self._value_flc[value] = comm_id
-        self._comm_edges.append((producer, comm_id, self.latency(producer)))
-        self._comm_edges.append((comm_id, consumer, self.bus_latency))
+        trail = self.trail
+        trail.set_item(self._value_flc, value, comm_id)
+        trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
+        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.bus_latency))
         changes: List[Change] = [CommResolved(comm_id)]
         changes += self.set_estart(comm_id, self.estart[producer] + self.latency(producer))
         changes += self.set_lstart(comm_id, int(self.lstart[consumer]) - self.bus_latency
@@ -565,21 +729,35 @@ class SchedulingState:
 
     def _drop_comm(self, comm_id: int) -> None:
         """Remove a redundant partially linked communication."""
-        self._comm_ops.pop(comm_id, None)
-        self.estart.pop(comm_id, None)
-        self.lstart.pop(comm_id, None)
-        self._comm_edges = [
+        trail = self.trail
+        cycle = self.cycle_of(comm_id) if comm_id in self.estart else None
+        if cycle is not None:
+            bucket = self._fixed_at.get(cycle)
+            if bucket is not None:
+                trail.discard_from_set(bucket, comm_id)
+        trail.discard_from_set(self._unfixed, comm_id)
+        trail.del_item(self._comm_ops, comm_id)
+        trail.del_item(self._ops, comm_id)
+        trail.del_item(self._latency, comm_id)
+        trail.del_item(self.estart, comm_id)
+        trail.del_item(self.lstart, comm_id)
+        remaining_edges = [
             (s, d, l) for (s, d, l) in self._comm_edges if s != comm_id and d != comm_id
         ]
-        remaining = CommunicationSet()
-        for comm in self.comms:
-            if comm.comm_id != comm_id:
-                remaining.add(comm)
-        self.comms = remaining
+        trail.set_attr(self, "_comm_edges", remaining_edges)
+        self.comms.remove(comm_id)
+        self._invalidate_id_caches()
+
+    def _register_comm_op(self, comm_id: int, op: Operation) -> None:
+        trail = self.trail
+        trail.set_item(self._comm_ops, comm_id, op)
+        trail.set_item(self._ops, comm_id, op)
+        trail.set_item(self._latency, comm_id, op.latency)
+        self._invalidate_id_caches()
 
     def _new_comm_id(self) -> int:
         comm_id = self._next_comm_id
-        self._next_comm_id += 1
+        self.trail.set_attr(self, "_next_comm_id", comm_id + 1)
         return comm_id
 
     # ------------------------------------------------------------------ #
@@ -587,7 +765,9 @@ class SchedulingState:
     # ------------------------------------------------------------------ #
     def set_exit_deadlines(self, deadlines: Dict[int, int]) -> List[Change]:
         changes: List[Change] = []
-        self.exit_deadlines.update(deadlines)
+        trail = self.trail
+        for op_id, cycle in deadlines.items():
+            trail.set_item(self.exit_deadlines, op_id, cycle)
         for op_id, cycle in deadlines.items():
             changes += self.set_lstart(op_id, cycle)
         # Operations with no dependence path to any exit must still issue no
@@ -599,7 +779,7 @@ class SchedulingState:
         )
         if all_exits_bounded and self.exit_deadlines:
             last_deadline = max(self.exit_deadlines.values())
-            for op_id in self.original_ids:
+            for op_id in self._original_ids:
                 if self.lstart[op_id] == INFINITY:
                     changes += self.set_lstart(op_id, last_deadline)
         return changes
@@ -612,7 +792,8 @@ class SchedulingState:
 
     def compactness(self) -> float:
         """Sum of estarts: smaller means the code is packed earlier."""
-        return float(sum(self.estart[i] for i in self.original_ids))
+        estart = self.estart
+        return float(sum(estart[i] for i in self._original_ids))
 
     def outedge_vc_ratio(self) -> float:
         n_vcs = self.vcg.n_vcs
@@ -621,10 +802,11 @@ class SchedulingState:
         return len(self.outedges()) / n_vcs
 
     def total_slack(self) -> float:
+        estart, lstart = self.estart, self.lstart
         finite = [
-            self.lstart[i] - self.estart[i]
+            lstart[i] - estart[i]
             for i in self.all_ids
-            if self.lstart[i] != INFINITY
+            if lstart[i] != INFINITY
         ]
         return float(sum(finite))
 

@@ -62,6 +62,10 @@ class DependenceGraph:
         self._graph = nx.DiGraph()
         self._ops: Dict[int, Operation] = {}
         self._reach_cache: Optional[Dict[int, Set[int]]] = None
+        # Adjacency caches (op ids, per-node edge lists, register edges);
+        # rebuilt lazily after structural changes.  The scheduler queries
+        # these on its hottest paths, and the graph is static once built.
+        self._struct_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -73,6 +77,7 @@ class DependenceGraph:
         self._ops[op.op_id] = op
         self._graph.add_node(op.op_id)
         self._reach_cache = None
+        self._struct_cache = None
 
     def add_edge(
         self,
@@ -102,6 +107,7 @@ class DependenceGraph:
             raise ValueError("dependence latency must be non-negative")
 
         if self._graph.has_edge(src, dst):
+            self._struct_cache = None
             data = self._graph.edges[src, dst]
             data["latency"] = max(data["latency"], latency)
             if value is not None and data.get("value") is None:
@@ -111,6 +117,7 @@ class DependenceGraph:
         else:
             self._graph.add_edge(src, dst, kind=kind, latency=latency, value=value)
         self._reach_cache = None
+        self._struct_cache = None
         return DepEdge(src, dst, kind, latency, value)
 
     # ------------------------------------------------------------------ #
@@ -123,7 +130,35 @@ class DependenceGraph:
 
     @property
     def op_ids(self) -> List[int]:
+        # Computed directly: keeps the id query decoupled from the (lazily
+        # built, invalidated-on-mutation) adjacency cache.
         return sorted(self._ops)
+
+    def _structures(self) -> tuple:
+        """Cached (op_ids, predecessors, successors, register_edges).
+
+        Built with the same iteration orders as the uncached per-call
+        queries, so consumers observe identical edge orderings."""
+        cache = self._struct_cache
+        if cache is None:
+            op_ids = sorted(self._ops)
+            preds: Dict[int, Tuple[DepEdge, ...]] = {}
+            succs: Dict[int, Tuple[DepEdge, ...]] = {}
+            edges = self._graph.edges
+            for op_id in op_ids:
+                preds[op_id] = tuple(
+                    DepEdge(src, op_id, d["kind"], d["latency"], d.get("value"))
+                    for src in self._graph.predecessors(op_id)
+                    for d in (edges[src, op_id],)
+                )
+                succs[op_id] = tuple(
+                    DepEdge(op_id, dst, d["kind"], d["latency"], d.get("value"))
+                    for dst in self._graph.successors(op_id)
+                    for d in (edges[op_id, dst],)
+                )
+            register = tuple(e for e in self.edges() if e.is_register_edge)
+            cache = self._struct_cache = (op_ids, preds, succs, register)
+        return cache
 
     def op(self, op_id: int) -> Operation:
         return self._ops[op_id]
@@ -146,25 +181,17 @@ class DependenceGraph:
         data = self._graph.edges[src, dst]
         return DepEdge(src, dst, data["kind"], data["latency"], data.get("value"))
 
-    def predecessors(self, op_id: int) -> List[DepEdge]:
+    def predecessors(self, op_id: int) -> Tuple[DepEdge, ...]:
         """Incoming edges of *op_id*."""
-        result = []
-        for src in self._graph.predecessors(op_id):
-            data = self._graph.edges[src, op_id]
-            result.append(DepEdge(src, op_id, data["kind"], data["latency"], data.get("value")))
-        return result
+        return self._structures()[1][op_id]
 
-    def successors(self, op_id: int) -> List[DepEdge]:
+    def successors(self, op_id: int) -> Tuple[DepEdge, ...]:
         """Outgoing edges of *op_id*."""
-        result = []
-        for dst in self._graph.successors(op_id):
-            data = self._graph.edges[op_id, dst]
-            result.append(DepEdge(op_id, dst, data["kind"], data["latency"], data.get("value")))
-        return result
+        return self._structures()[2][op_id]
 
-    def register_edges(self) -> List[DepEdge]:
+    def register_edges(self) -> Tuple[DepEdge, ...]:
         """All data edges that carry a named register value."""
-        return [e for e in self.edges() if e.is_register_edge]
+        return self._structures()[3]
 
     # ------------------------------------------------------------------ #
     # structural queries

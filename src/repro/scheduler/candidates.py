@@ -20,6 +20,9 @@ def most_constraining_pair(state: SchedulingState) -> Optional[Tuple[int, int, f
     """The untreated pair with the least combination slack.
 
     Returns ``(u, v, slack)`` or None when every pair has been decided.
+    The scan runs over the state's dirty-tracked undecided-pair set (kept
+    up to date by the combination mutators) instead of re-deriving pair
+    status from the combination lists on every stage iteration.
     """
     best: Optional[Tuple[int, int, float]] = None
     for u, v in state.untreated_pairs():
@@ -40,8 +43,7 @@ def lowest_slack_operation(
     whose dependence-graph predecessors are already pinned — so that pinning
     a consumer can never squeeze a producer that still has to be placed
     into an unschedulable corner."""
-    pool = state.comm_ids if communications else state.original_ids
-    unfixed = [op_id for op_id in pool if not state.is_fixed(op_id)]
+    unfixed = state.unfixed_ids(communications)
     if not unfixed:
         return None
     if not communications:

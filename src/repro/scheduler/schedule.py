@@ -132,6 +132,8 @@ class ScheduleResult:
     timed_out: bool = False
     awct_target_steps: int = 0
     fallback_used: bool = False
+    #: Hot-path probe counters (trail probes, rollbacks, copies avoided, …).
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

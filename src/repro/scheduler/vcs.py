@@ -17,6 +17,23 @@ nor discarded, the target AWCT is abandoned and the next one is tried.  A
 work budget (the compile-time proxy) or wall-clock limit aborts the whole
 attempt, in which case the scheduler falls back to the CARS baseline for the
 block — exactly the paper's threshold mechanism.
+
+Hot-path design
+---------------
+Candidate decisions are *probed in place* using the scheduling state's
+mutation trail (``checkpoint``/``rollback``) instead of deep-copying the
+state per candidate: a probe applies the decision through the deduction
+process, records the resulting score, and rolls the state back.  When one
+of several scored candidates wins, its (deterministic) deduction is
+replayed once on the live state without re-charging the work budget, so the
+compile-effort accounting matches the copy-based scheme decision for
+decision.  A single pristine state is built per block and rolled back
+between AWCT targets and minAWCT probes, so the global estart computation
+runs once and bound deltas propagate only from changed nodes.
+
+``VcsConfig.use_trail=False`` restores copy-based probing (one full state
+copy per candidate); the two modes follow the same control flow and must
+produce byte-identical schedules, which the determinism tests assert.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bounds.awct import min_exit_cycles
 from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
 from repro.deduction.consequence import (
+    Change,
     ChooseCombination,
     Decision,
     DiscardCombination,
@@ -92,6 +110,22 @@ class VcsConfig:
     #: Fall back to CARS when the budget is exhausted (the paper's timeout
     #: mechanism).  When False the scheduler raises instead.
     fallback_to_cars: bool = True
+    #: Probe candidate decisions in place via the mutation trail (rollback
+    #: on contradiction) instead of deep-copying the state per candidate.
+    #: Both modes follow the same decision sequence; False exists for the
+    #: determinism tests and the perf harness.
+    use_trail: bool = True
+
+
+def _new_stats() -> Dict[str, int]:
+    return {
+        "probes": 0,
+        "copies": 0,
+        "rollbacks": 0,
+        "redos": 0,
+        "copies_avoided": 0,
+        "trail_entries_undone": 0,
+    }
 
 
 class VirtualClusterScheduler:
@@ -102,6 +136,8 @@ class VirtualClusterScheduler:
     def __init__(self, config: Optional[VcsConfig] = None) -> None:
         self.config = config or VcsConfig()
         self._deadline: Optional[float] = None
+        #: Probe/copy counters of the most recent :meth:`schedule` call.
+        self.stats: Dict[str, int] = _new_stats()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -113,21 +149,36 @@ class VirtualClusterScheduler:
         self._deadline = (
             start + self.config.time_limit if self.config.time_limit is not None else None
         )
+        self.stats = _new_stats()
         dp = DeductionProcess(rules=default_rules(enable_plc=self.config.enable_plc))
         budget = WorkBudget(self.config.work_budget)
         sgraph = SchedulingGraph(block, machine)
 
+        # Trail mode reuses one pristine state for every minAWCT probe and
+        # AWCT target (rolled back in between); copy mode rebuilds it.
+        shared: Optional[SchedulingState] = None
+        pristine = 0
+        if self.config.use_trail:
+            shared = SchedulingState(block, machine, sgraph)
+            pristine = shared.checkpoint()
+
         steps_tried = 0
         timed_out = False
         try:
-            initial = self._tighten_exit_bounds(block, machine, sgraph, dp, budget)
+            initial = self._tighten_exit_bounds(
+                block, machine, sgraph, dp, budget, shared=shared, pristine=pristine
+            )
             enumerator = ExitBoundEnumerator(block, machine, initial_cycles=initial)
             for target in enumerator:
                 steps_tried += 1
                 if steps_tried > self.config.max_awct_steps:
                     break
                 self._check_time()
-                state = self._try_target(block, machine, sgraph, dp, target, budget)
+                if shared is not None:
+                    self._rollback(shared, pristine)
+                state = self._try_target(
+                    block, machine, sgraph, dp, target, budget, shared
+                )
                 if state is None:
                     continue
                 schedule = self._extract(state, machine)
@@ -143,6 +194,7 @@ class VirtualClusterScheduler:
                     work=budget.spent,
                     wall_time=time.perf_counter() - start,
                     awct_target_steps=steps_tried,
+                    stats=dict(self.stats),
                 )
         except BudgetExhausted:
             timed_out = True
@@ -157,6 +209,7 @@ class VirtualClusterScheduler:
                 wall_time=time.perf_counter() - start,
                 timed_out=timed_out,
                 awct_target_steps=steps_tried,
+                stats=dict(self.stats),
             )
         fallback = CarsScheduler().schedule(block, machine)
         return ScheduleResult(
@@ -169,14 +222,40 @@ class VirtualClusterScheduler:
             timed_out=timed_out,
             awct_target_steps=steps_tried,
             fallback_used=True,
+            stats=dict(self.stats),
         )
 
     # ------------------------------------------------------------------ #
-    # helpers
+    # probing primitives
     # ------------------------------------------------------------------ #
     def _check_time(self) -> None:
         if self._deadline is not None and time.perf_counter() > self._deadline:
             raise BudgetExhausted("wall-clock limit exceeded")
+
+    def _apply_sequence(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
+        budget: Optional[WorkBudget],
+    ) -> DeductionResult:
+        """Apply *decisions* to *state* in place, accumulating consequences
+        and work across the whole sequence (multi-decision studies report
+        the total, not just the last decision's share)."""
+        consequences: List[Change] = []
+        work = 0
+        for decision in decisions:
+            result = dp.apply(state, decision, budget=budget, in_place=True)
+            consequences.extend(result.consequences)
+            work += result.work
+            if not result.ok:
+                return DeductionResult(
+                    state=state,
+                    consequences=consequences,
+                    contradiction=result.contradiction,
+                    work=work,
+                )
+        return DeductionResult(state=state, consequences=consequences, work=work)
 
     def _study(
         self,
@@ -185,31 +264,61 @@ class VirtualClusterScheduler:
         decisions: Sequence[Decision],
         budget: WorkBudget,
     ) -> DeductionResult:
-        """Evaluate a sequence of decisions on a copy of *state*."""
-        working = state.copy()
-        last: Optional[DeductionResult] = None
-        for decision in decisions:
-            last = dp.apply(working, decision, budget=budget, in_place=True)
-            if not last.ok:
-                return last
-            working = last.state
-        if last is None:
-            return DeductionResult(state=working)
-        return DeductionResult(state=working, consequences=last.consequences, work=last.work)
+        """Copy mode: evaluate a sequence of decisions on a copy of *state*."""
+        self.stats["copies"] += 1
+        return self._apply_sequence(dp, state.copy(), decisions, budget)
 
-    def _commit(
+    def _probe(
         self,
         dp: DeductionProcess,
         state: SchedulingState,
-        decision: Decision,
+        decisions: Sequence[Decision],
+        budget: WorkBudget,
+    ) -> Tuple[int, DeductionResult]:
+        """Trail mode: apply *decisions* in place on top of a checkpoint.
+
+        The caller decides whether to keep the mutations or roll back to the
+        returned mark."""
+        mark = state.checkpoint()
+        self.stats["probes"] += 1
+        self.stats["copies_avoided"] += 1
+        return mark, self._apply_sequence(dp, state, decisions, budget)
+
+    def _rollback(self, state: SchedulingState, mark: int) -> None:
+        self.stats["rollbacks"] += 1
+        self.stats["trail_entries_undone"] += state.rollback(mark)
+
+    def _rollback_capture(self, state: SchedulingState, mark: int) -> List[tuple]:
+        self.stats["rollbacks"] += 1
+        log = state.rollback_capture(mark)
+        self.stats["trail_entries_undone"] += len(log)
+        return log
+
+    def _redo(self, state: SchedulingState, log: List[tuple]) -> None:
+        """Keep a probed winner by re-applying its captured mutations —
+        byte-exact and without re-running its deduction (the work was
+        already charged when the candidate was probed)."""
+        self.stats["redos"] += 1
+        state.redo(log)
+
+    def _try_keep(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
         budget: WorkBudget,
     ) -> Optional[SchedulingState]:
-        """Apply *decision* to a copy of *state* and return it (None on
-        contradiction)."""
-        result = dp.apply(state, decision, budget=budget)
-        if not result.ok:
+        """Attempt *decisions*; on success return the resulting current
+        state (mutated in place in trail mode, a studied copy otherwise),
+        on contradiction return None with *state* unchanged."""
+        if self.config.use_trail:
+            mark, result = self._probe(dp, state, decisions, budget)
+            if result.ok:
+                return state
+            self._rollback(state, mark)
             return None
-        return result.state
+        study = self._study(dp, state, decisions, budget)
+        return study.state if study.ok else None
 
     def _tighten_exit_bounds(
         self,
@@ -219,6 +328,8 @@ class VirtualClusterScheduler:
         dp: DeductionProcess,
         budget: WorkBudget,
         max_probe: int = 6,
+        shared: Optional[SchedulingState] = None,
+        pristine: int = 0,
     ) -> Dict[int, int]:
         """Enhanced minAWCT (Section 4.2): probe each exit's earliest cycle
         through the deduction process and push it up when the DP proves it
@@ -229,7 +340,12 @@ class VirtualClusterScheduler:
             chosen = cycle
             for attempt in range(max_probe):
                 self._check_time()
-                probe = SchedulingState(block, machine, sgraph)
+                if shared is not None:
+                    self._rollback(shared, pristine)
+                    self.stats["copies_avoided"] += 1
+                    probe = shared
+                else:
+                    probe = SchedulingState(block, machine, sgraph)
                 result = dp.apply(
                     probe,
                     SetExitDeadlines.from_mapping({exit_id: chosen}),
@@ -240,6 +356,8 @@ class VirtualClusterScheduler:
                     break
                 chosen += 1
             tightened[exit_id] = chosen
+        if shared is not None:
+            self._rollback(shared, pristine)
         return tightened
 
     # ------------------------------------------------------------------ #
@@ -253,8 +371,13 @@ class VirtualClusterScheduler:
         dp: DeductionProcess,
         target: ExitBoundStep,
         budget: WorkBudget,
+        shared: Optional[SchedulingState] = None,
     ) -> Optional[SchedulingState]:
-        state = SchedulingState(block, machine, sgraph)
+        if shared is not None:
+            state = shared  # already rolled back to pristine by the caller
+            self.stats["copies_avoided"] += 1
+        else:
+            state = SchedulingState(block, machine, sgraph)
         result = dp.apply(
             state,
             SetExitDeadlines.from_mapping(target.exit_cycles),
@@ -306,6 +429,12 @@ class VirtualClusterScheduler:
                 return state
             decisions_made += 1
 
+            if self.config.use_trail:
+                outcome = self._decide_pair_in_place(dp, state, u, v, budget)
+                if outcome is None:
+                    return None
+                continue
+
             viable: List[Tuple[Tuple, int, SchedulingState]] = []
             for distance in list(state.remaining_combinations(u, v)):
                 study = self._study(dp, state, [ChooseCombination(u, v, distance)], budget)
@@ -314,12 +443,12 @@ class VirtualClusterScheduler:
                 else:
                     # The deduction process proved this combination leads to
                     # no valid schedule: discarding it is mandatory.
-                    committed = self._commit(
-                        dp, state, DiscardCombination(u, v, distance), budget
+                    committed = self._study(
+                        dp, state, [DiscardCombination(u, v, distance)], budget
                     )
-                    if committed is None:
+                    if not committed.ok:
                         return None
-                    state = committed
+                    state = committed.state
 
             if viable:
                 viable.sort(key=lambda item: (item[0], item[1]))
@@ -328,6 +457,52 @@ class VirtualClusterScheduler:
                 # The pair can neither be chosen nor discarded: no schedule
                 # exists for this AWCT target.
                 return None
+        return state
+
+    def _decide_pair_in_place(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        u: int,
+        v: int,
+        budget: WorkBudget,
+    ) -> Optional[SchedulingState]:
+        """Trail-mode body of one stage-1 iteration.
+
+        Probes every remaining combination of the pair (rolling each back
+        with redo capture), commits the mandatory discards of contradictory
+        combinations as they are found — later probes must see them, exactly
+        like the copy-based loop — and finally keeps the winner by rolling
+        back to the winner's probe point (undoing discards committed after
+        it, which the winning lineage never saw) and redoing the captured
+        mutations.  The result is byte-identical to the copy the copy-based
+        scheduler would have kept, without re-running any deduction."""
+        best: Optional[Tuple[Tuple, int, int, List[tuple]]] = None  # (score, distance, mark, redo log)
+        for distance in list(state.remaining_combinations(u, v)):
+            mark, study = self._probe(dp, state, [ChooseCombination(u, v, distance)], budget)
+            if study.ok:
+                score = state_score(state)
+                log = self._rollback_capture(state, mark)
+                if best is None or (score, distance) < (best[0], best[1]):
+                    best = (score, distance, mark, log)
+            else:
+                self._rollback(state, mark)
+                # Discarding the contradictory combination is mandatory.
+                commit = self._apply_sequence(
+                    dp, state, [DiscardCombination(u, v, distance)], budget
+                )
+                if not commit.ok:
+                    return None
+
+        if best is not None:
+            _, _, mark, log = best
+            self._rollback(state, mark)
+            self._redo(state, log)
+            return state
+        if not state.is_pair_decided(u, v):
+            # The pair can neither be chosen nor discarded: no schedule
+            # exists for this AWCT target.
+            return None
         return state
 
     # ------------------------------------------------------------------ #
@@ -340,6 +515,7 @@ class VirtualClusterScheduler:
         budget: WorkBudget,
         communications: bool,
     ) -> Optional[SchedulingState]:
+        use_trail = self.config.use_trail
         safety = 0
         limit = 8 * (len(state.all_ids) + 4)
         while True:
@@ -359,21 +535,38 @@ class VirtualClusterScheduler:
                 else self.config.cycle_candidates
             )
             cycles = cand.cycle_candidates(state, op_id, n_candidates)
-            viable: List[Tuple[Tuple, int, SchedulingState]] = []
             earliest_contradicts = False
-            for cycle in cycles:
-                study = self._study(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
-                if study.ok:
-                    viable.append((state_score(study.state), cycle, study.state))
-                elif cycle == state.estart[op_id]:
-                    earliest_contradicts = True
-            if viable:
-                viable.sort(key=lambda item: (item[0], item[1]))
-                state = viable[0][2]
-                continue
+            if use_trail:
+                best: Optional[Tuple[Tuple, int, List[tuple]]] = None  # (score, cycle, redo log)
+                for cycle in cycles:
+                    mark, study = self._probe(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
+                    if study.ok:
+                        score = state_score(state)
+                        log = self._rollback_capture(state, mark)
+                        if best is None or (score, cycle) < (best[0], best[1]):
+                            best = (score, cycle, log)
+                    else:
+                        self._rollback(state, mark)
+                        if cycle == state.estart[op_id]:
+                            earliest_contradicts = True
+                if best is not None:
+                    self._redo(state, best[2])
+                    continue
+            else:
+                viable: List[Tuple[Tuple, int, SchedulingState]] = []
+                for cycle in cycles:
+                    study = self._study(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
+                    if study.ok:
+                        viable.append((state_score(study.state), cycle, study.state))
+                    elif cycle == state.estart[op_id]:
+                        earliest_contradicts = True
+                if viable:
+                    viable.sort(key=lambda item: (item[0], item[1]))
+                    state = viable[0][2]
+                    continue
             if earliest_contradicts and state.slack(op_id) > 0:
-                committed = self._commit(
-                    dp, state, ForbidCycle(op_id, state.estart[op_id]), budget
+                committed = self._try_keep(
+                    dp, state, [ForbidCycle(op_id, state.estart[op_id])], budget
                 )
                 if committed is None:
                     return None
@@ -389,7 +582,11 @@ class VirtualClusterScheduler:
     def _stage_fix_communications(
         self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
     ) -> Optional[SchedulingState]:
-        state = state.copy()
+        if self.config.use_trail:
+            self.stats["copies_avoided"] += 1
+        else:
+            state = state.copy()
+            self.stats["copies"] += 1
         state.drop_unresolved_plcs()
         return self._fix_cycles(dp, state, budget, communications=True)
 
@@ -412,9 +609,9 @@ class VirtualClusterScheduler:
             if self.config.use_matching:
                 pairs = cand.matching_candidates(state)
                 if len(pairs) > 1:
-                    study = self._study(dp, state, [FuseVCs(pairs=tuple(pairs))], budget)
-                    if study.ok:
-                        state = study.state
+                    kept = self._try_keep(dp, state, [FuseVCs(pairs=tuple(pairs))], budget)
+                    if kept is not None:
+                        state = kept
                         continue
                     # A failed matching is not decomposed into per-pair
                     # discards (Section 4.4.2); fall through to the single
@@ -424,13 +621,13 @@ class VirtualClusterScheduler:
             if pair is None:
                 return state
             a, b = pair
-            study = self._study(dp, state, [FuseVCs.single(a, b)], budget)
-            if study.ok:
-                state = study.state
+            kept = self._try_keep(dp, state, [FuseVCs.single(a, b)], budget)
+            if kept is not None:
+                state = kept
                 continue
-            study = self._study(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
-            if study.ok:
-                state = study.state
+            kept = self._try_keep(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
+            if kept is not None:
+                state = kept
                 continue
             return None
 
@@ -457,14 +654,14 @@ class VirtualClusterScheduler:
                 return None
             progressed = False
             for a, b in candidates:
-                study = self._study(dp, state, [FuseVCs.single(a, b)], budget)
-                if study.ok:
-                    state = study.state
+                kept = self._try_keep(dp, state, [FuseVCs.single(a, b)], budget)
+                if kept is not None:
+                    state = kept
                     progressed = True
                     break
-                study = self._study(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
-                if study.ok:
-                    state = study.state
+                kept = self._try_keep(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
+                if kept is not None:
+                    state = kept
                     progressed = True
                     break
             if not progressed:

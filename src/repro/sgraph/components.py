@@ -7,11 +7,19 @@ offset union-find keeps, for every operation, its cycle offset relative to
 the representative of its component, so that merging two components with a
 new relative-distance constraint either succeeds (and the offsets compose)
 or is detected as contradictory.
+
+The structure supports an attached mutation trail (see :mod:`repro.trail`)
+so the scheduler can probe decisions in place and roll them back.  While a
+trail is attached, :meth:`find` does not path-compress — compression is a
+mutation that would otherwise have to be recorded, and union-by-size alone
+keeps the trees logarithmically shallow.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trail import Trail, tdel, tset
 
 
 class OffsetContradiction(Exception):
@@ -29,17 +37,27 @@ class OffsetUnionFind:
         self._parent: Dict[int, int] = {}
         self._offset: Dict[int, int] = {}
         self._size: Dict[int, int] = {}
+        #: Members of each component, keyed by root (kept so component
+        #: queries touch only the component, not every element).
+        self._members: Dict[int, List[int]] = {}
+        self._trail: Optional[Trail] = None
         for element in elements:
             self.add(element)
+
+    def attach_trail(self, trail: Optional[Trail]) -> None:
+        """Route subsequent mutations through *trail* (None detaches)."""
+        self._trail = trail
 
     # ------------------------------------------------------------------ #
     # basic operations
     # ------------------------------------------------------------------ #
     def add(self, element: int) -> None:
         if element not in self._parent:
-            self._parent[element] = element
-            self._offset[element] = 0
-            self._size[element] = 1
+            t = self._trail
+            tset(t, self._parent, element, element)
+            tset(t, self._offset, element, 0)
+            tset(t, self._size, element, 1)
+            tset(t, self._members, element, [element])
 
     def __contains__(self, element: int) -> bool:
         return element in self._parent
@@ -49,22 +67,33 @@ class OffsetUnionFind:
 
     def find(self, element: int) -> Tuple[int, int]:
         """Return ``(root, offset_of_element_relative_to_root)``."""
-        if element not in self._parent:
+        parent = self._parent
+        if element not in parent:
             raise KeyError(f"unknown element {element}")
+        if self._trail is not None:
+            # No path compression while a trail is attached: walk up,
+            # summing offsets towards the root.
+            offset_map = self._offset
+            node = element
+            offset = 0
+            while parent[node] != node:
+                offset += offset_map[node]
+                node = parent[node]
+            return node, offset
         path: List[int] = []
         node = element
-        while self._parent[node] != node:
+        while parent[node] != node:
             path.append(node)
-            node = self._parent[node]
+            node = parent[node]
         root = node
         # Path compression, accumulating offsets towards the root.
         for node in reversed(path):
-            parent = self._parent[node]
-            self._offset[node] += self._offset[parent] if parent != root else 0
+            node_parent = parent[node]
+            self._offset[node] += self._offset[node_parent] if node_parent != root else 0
             # After the loop below, every node on the path points directly
             # at the root, so the accumulated offset is already relative to
             # the root.
-            self._parent[node] = root
+            parent[node] = root
         return root, self._offset[element]
 
     def offset_between(self, u: int, v: int) -> int | None:
@@ -97,16 +126,24 @@ class OffsetUnionFind:
                 )
             return False
         # Attach the smaller tree below the larger one.
+        t = self._trail
         if self._size[root_u] < self._size[root_v]:
             # cycle(root_u) = cycle(root_v) + (off_v - distance - off_u)
-            self._parent[root_u] = root_v
-            self._offset[root_u] = off_v - distance - off_u
-            self._size[root_v] += self._size[root_u]
+            winner, loser = root_v, root_u
+            loser_offset = off_v - distance - off_u
         else:
             # cycle(root_v) = cycle(root_u) + (off_u + distance - off_v)
-            self._parent[root_v] = root_u
-            self._offset[root_v] = off_u + distance - off_v
-            self._size[root_u] += self._size[root_v]
+            winner, loser = root_u, root_v
+            loser_offset = off_u + distance - off_v
+        tset(t, self._parent, loser, winner)
+        tset(t, self._offset, loser, loser_offset)
+        tset(t, self._size, winner, self._size[winner] + self._size[loser])
+        loser_members = self._members[loser]
+        if t is None:
+            self._members[winner].extend(loser_members)
+        else:
+            t.extend_list(self._members[winner], loser_members)
+        tdel(t, self._members, loser)
         return True
 
     # ------------------------------------------------------------------ #
@@ -117,26 +154,22 @@ class OffsetUnionFind:
         offsets relative to *element*."""
         root, base = self.find(element)
         members = []
-        for other in self._parent:
-            other_root, other_off = self.find(other)
-            if other_root == root:
-                members.append((other, other_off - base))
+        for other in self._members[root]:
+            _, other_off = self.find(other)
+            members.append((other, other_off - base))
         return sorted(members)
 
     def components(self) -> List[List[int]]:
         """All components as sorted lists of members."""
-        groups: Dict[int, List[int]] = {}
-        for element in self._parent:
-            root, _ = self.find(element)
-            groups.setdefault(root, []).append(element)
-        return sorted(sorted(group) for group in groups.values())
+        return sorted(sorted(group) for group in self._members.values())
 
     def n_components(self) -> int:
-        return len({self.find(e)[0] for e in self._parent})
+        return len(self._members)
 
     def copy(self) -> "OffsetUnionFind":
         clone = OffsetUnionFind()
         clone._parent = dict(self._parent)
         clone._offset = dict(self._offset)
         clone._size = dict(self._size)
+        clone._members = {root: list(members) for root, members in self._members.items()}
         return clone

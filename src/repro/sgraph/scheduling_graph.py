@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.bounds.estart import compute_estart
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
 from repro.sgraph.combination import Combination, feasible_combinations, pair_key
@@ -32,15 +33,23 @@ class SchedulingGraph:
         self._block = block
         self._machine = machine
         self._combinations: Dict[Tuple[int, int], Tuple[Combination, ...]] = {}
+        self._distances: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._neighbors: Dict[int, Tuple[int, ...]] = {}
+        self._base_estart: Optional[Dict[int, int]] = None
         self._build()
 
     def _build(self) -> None:
         op_ids = self._block.op_ids
+        adjacency: Dict[int, Set[int]] = {}
         for i, u in enumerate(op_ids):
             for v in op_ids[i + 1:]:
                 combos = feasible_combinations(self._block.graph, self._machine, u, v)
                 if combos:
                     self._combinations[(u, v)] = tuple(combos)
+                    self._distances[(u, v)] = tuple(c.distance for c in combos)
+                    adjacency.setdefault(u, set()).add(v)
+                    adjacency.setdefault(v, set()).add(u)
+        self._neighbors = {u: tuple(sorted(vs)) for u, vs in adjacency.items()}
 
     # ------------------------------------------------------------------ #
     # queries
@@ -64,6 +73,22 @@ class SchedulingGraph:
         """Feasible combinations between *u* and *v* (may be empty)."""
         return self._combinations.get(pair_key(u, v), ())
 
+    def distances(self, u: int, v: int) -> Tuple[int, ...]:
+        """Distances of the pair's feasible combinations (may be empty)."""
+        return self._distances.get(pair_key(u, v), ())
+
+    @property
+    def base_estart(self) -> Dict[int, int]:
+        """Dependence-only estart of every operation, computed once per block.
+
+        Scheduling states copy this instead of recomputing the longest-path
+        pass for every AWCT target and every minAWCT probe; subsequent bound
+        changes are propagated incrementally from the changed node by the
+        deduction rules."""
+        if self._base_estart is None:
+            self._base_estart = compute_estart(self._block.graph)
+        return self._base_estart
+
     def all_combinations(self) -> Iterator[Combination]:
         for combos in self._combinations.values():
             yield from combos
@@ -71,15 +96,9 @@ class SchedulingGraph:
     def n_combinations(self) -> int:
         return sum(len(c) for c in self._combinations.values())
 
-    def neighbors(self, op_id: int) -> List[int]:
+    def neighbors(self, op_id: int) -> Tuple[int, ...]:
         """Operations sharing at least one combination with *op_id*."""
-        out: Set[int] = set()
-        for (u, v) in self._combinations:
-            if u == op_id:
-                out.add(v)
-            elif v == op_id:
-                out.add(u)
-        return sorted(out)
+        return self._neighbors.get(op_id, ())
 
     def degree(self, op_id: int) -> int:
         return len(self.neighbors(op_id))

@@ -15,6 +15,8 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.trail import Trail, tdel, tset
+
 
 class CommKind(enum.Enum):
     """Linking state of a communication."""
@@ -100,20 +102,33 @@ class Communication:
 
 
 class CommunicationSet:
-    """The communications created so far during scheduling of one block."""
+    """The communications created so far during scheduling of one block.
+
+    Mutations may be routed through an attached trail (see
+    :mod:`repro.trail`) so a probed decision that created or resolved
+    communications can be rolled back."""
 
     def __init__(self) -> None:
         self._comms: Dict[int, Communication] = {}
+        self._trail: Optional[Trail] = None
+
+    def attach_trail(self, trail: Optional[Trail]) -> None:
+        """Route subsequent mutations through *trail* (None detaches)."""
+        self._trail = trail
 
     def add(self, comm: Communication) -> None:
         if comm.comm_id in self._comms:
             raise ValueError(f"duplicate communication id {comm.comm_id}")
-        self._comms[comm.comm_id] = comm
+        tset(self._trail, self._comms, comm.comm_id, comm)
 
     def replace(self, comm: Communication) -> None:
         if comm.comm_id not in self._comms:
             raise KeyError(f"unknown communication id {comm.comm_id}")
-        self._comms[comm.comm_id] = comm
+        tset(self._trail, self._comms, comm.comm_id, comm)
+
+    def remove(self, comm_id: int) -> None:
+        """Drop a communication (no-op when the id is unknown)."""
+        tdel(self._trail, self._comms, comm_id)
 
     def get(self, comm_id: int) -> Communication:
         return self._comms[comm_id]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.trail import Trail, tadd, tdel, tdiscard, tset
+
 
 class VCContradiction(Exception):
     """A fusion/incompatibility request conflicts with the current VCG."""
@@ -30,6 +32,11 @@ class VirtualClusterGraph:
     mapping stage); fusing VCs pinned to different physical clusters is a
     contradiction, as is marking two VCs pinned to the same physical cluster
     incompatible.
+
+    A mutation trail (see :mod:`repro.trail`) may be attached so fusions,
+    incompatibilities and pins can be rolled back; while attached,
+    :meth:`vc_of` does not path-compress (compression is a mutation, and
+    union-by-size alone keeps lookups cheap).
     """
 
     def __init__(self, op_ids: Iterable[int] = ()) -> None:
@@ -37,32 +44,43 @@ class VirtualClusterGraph:
         self._size: Dict[int, int] = {}
         self._edges: Dict[int, Set[int]] = {}
         self._pins: Dict[int, int] = {}
+        #: Members of each VC, keyed by root.
+        self._members: Dict[int, List[int]] = {}
+        self._trail: Optional[Trail] = None
         for op_id in op_ids:
             self.add(op_id)
+
+    def attach_trail(self, trail: Optional[Trail]) -> None:
+        """Route subsequent mutations through *trail* (None detaches)."""
+        self._trail = trail
 
     # ------------------------------------------------------------------ #
     # membership
     # ------------------------------------------------------------------ #
     def add(self, op_id: int) -> None:
         if op_id not in self._parent:
-            self._parent[op_id] = op_id
-            self._size[op_id] = 1
-            self._edges[op_id] = set()
+            t = self._trail
+            tset(t, self._parent, op_id, op_id)
+            tset(t, self._size, op_id, 1)
+            tset(t, self._edges, op_id, set())
+            tset(t, self._members, op_id, [op_id])
 
     def __contains__(self, op_id: int) -> bool:
         return op_id in self._parent
 
     def vc_of(self, op_id: int) -> int:
         """Representative (root) of the VC containing *op_id*."""
-        if op_id not in self._parent:
+        parent = self._parent
+        if op_id not in parent:
             raise KeyError(f"unknown operation {op_id}")
         root = op_id
-        while self._parent[root] != root:
-            root = self._parent[root]
-        # Path compression.
-        node = op_id
-        while self._parent[node] != root:
-            self._parent[node], node = root, self._parent[node]
+        while parent[root] != root:
+            root = parent[root]
+        if self._trail is None:
+            # Path compression.
+            node = op_id
+            while parent[node] != root:
+                parent[node], node = root, parent[node]
         return root
 
     def same_vc(self, u: int, v: int) -> bool:
@@ -70,22 +88,21 @@ class VirtualClusterGraph:
 
     def members(self, op_id: int) -> List[int]:
         """All operations in the VC containing *op_id*."""
-        root = self.vc_of(op_id)
-        return sorted(o for o in self._parent if self.vc_of(o) == root)
+        return sorted(self._members[self.vc_of(op_id)])
 
     def vcs(self) -> List[FrozenSet[int]]:
         """All virtual clusters as frozensets of member operations."""
-        groups: Dict[int, Set[int]] = {}
-        for op_id in self._parent:
-            groups.setdefault(self.vc_of(op_id), set()).add(op_id)
-        return sorted((frozenset(g) for g in groups.values()), key=lambda s: min(s))
+        return sorted(
+            (frozenset(group) for group in self._members.values()),
+            key=lambda s: min(s),
+        )
 
     def roots(self) -> List[int]:
-        return sorted({self.vc_of(o) for o in self._parent})
+        return sorted(self._members)
 
     @property
     def n_vcs(self) -> int:
-        return len({self.vc_of(o) for o in self._parent})
+        return len(self._members)
 
     # ------------------------------------------------------------------ #
     # incompatibility edges
@@ -137,7 +154,7 @@ class VirtualClusterGraph:
                     f"VC of {op_id} is incompatible with a VC already pinned "
                     f"to cluster {physical_cluster}"
                 )
-        self._pins[root] = physical_cluster
+        tset(self._trail, self._pins, root, physical_cluster)
         return True
 
     def pin_of(self, op_id: int) -> Optional[int]:
@@ -168,18 +185,27 @@ class VirtualClusterGraph:
         # Merge the smaller VC into the larger one.
         if self._size[root_u] < self._size[root_v]:
             root_u, root_v = root_v, root_u
-        self._parent[root_v] = root_u
-        self._size[root_u] += self._size[root_v]
+        t = self._trail
+        tset(t, self._parent, root_v, root_u)
+        tset(t, self._size, root_u, self._size[root_u] + self._size[root_v])
+        loser_members = self._members[root_v]
+        if t is None:
+            self._members[root_u].extend(loser_members)
+        else:
+            t.extend_list(self._members[root_u], loser_members)
+        tdel(t, self._members, root_v)
         # Re-point incompatibility edges of the absorbed VC.
-        for other in self._edges.pop(root_v):
-            self._edges[other].discard(root_v)
-            self._edges[other].add(root_u)
-            self._edges[root_u].add(other)
+        absorbed = self._edges[root_v]
+        tdel(t, self._edges, root_v)
+        for other in absorbed:
+            tdiscard(t, self._edges[other], root_v)
+            tadd(t, self._edges[other], root_u)
+            tadd(t, self._edges[root_u], other)
         # Merge pins.
         pin = pin_u if pin_u is not None else pin_v
-        self._pins.pop(root_v, None)
+        tdel(t, self._pins, root_v)
         if pin is not None:
-            self._pins[root_u] = pin
+            tset(t, self._pins, root_u, pin)
             for other in self._edges[root_u]:
                 if self._pins.get(other) == pin:
                     raise VCContradiction(
@@ -205,8 +231,9 @@ class VirtualClusterGraph:
             )
         if root_v in self._edges[root_u]:
             return False
-        self._edges[root_u].add(root_v)
-        self._edges[root_v].add(root_u)
+        t = self._trail
+        tadd(t, self._edges[root_u], root_v)
+        tadd(t, self._edges[root_v], root_u)
         return True
 
     # ------------------------------------------------------------------ #
@@ -218,6 +245,7 @@ class VirtualClusterGraph:
         clone._size = dict(self._size)
         clone._edges = {k: set(v) for k, v in self._edges.items()}
         clone._pins = dict(self._pins)
+        clone._members = {root: list(members) for root, members in self._members.items()}
         return clone
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,125 @@
+"""Determinism: trail-based in-place probing must not change any schedule.
+
+``VcsConfig.use_trail`` switches the scheduler between trail-based
+apply-then-undo probing and the legacy copy-per-candidate probing.  Both
+modes follow the same decision sequence by construction; these tests assert
+the strongest observable form of that claim — byte-identical schedules
+(cycles, cluster assignment, communications), identical deterministic work
+counts and identical AWCT-target trajectories — on the paper's worked
+example, the hand-written kernels and a seeded synthetic suite.
+"""
+
+import pytest
+
+from repro.machine import (
+    example_2cluster,
+    paper_2c_8i_1lat,
+    paper_4c_16i_1lat,
+    paper_4c_16i_2lat,
+)
+from repro.scheduler import VcsConfig, VirtualClusterScheduler
+from repro.workloads import (
+    dct_butterfly_kernel,
+    dot_product_kernel,
+    fir_kernel,
+    paper_figure1_block,
+    string_search_kernel,
+)
+from repro.workloads.synth import GeneratorConfig, SuperblockGenerator
+
+MACHINES = [paper_2c_8i_1lat(), paper_4c_16i_1lat(), paper_4c_16i_2lat()]
+
+KERNELS = [
+    paper_figure1_block(),
+    fir_kernel(taps=3),
+    dot_product_kernel(width=3),
+    dct_butterfly_kernel(),
+    string_search_kernel(),
+]
+
+
+def fingerprint(result):
+    """Everything observable about a scheduling run, order-normalised."""
+    schedule = result.schedule
+    if schedule is None:
+        body = None
+    else:
+        body = (
+            sorted(schedule.cycles.items()),
+            sorted(schedule.clusters.items()),
+            [
+                (c.value, c.producer, c.cycle, c.src_cluster, c.dst_cluster)
+                for c in schedule.comms
+            ],
+        )
+    return (result.work, result.awct_target_steps, result.fallback_used, body)
+
+
+def run_both(block, machine, **config_kwargs):
+    trail = VirtualClusterScheduler(
+        VcsConfig(use_trail=True, **config_kwargs)
+    ).schedule(block, machine)
+    copy = VirtualClusterScheduler(
+        VcsConfig(use_trail=False, **config_kwargs)
+    ).schedule(block, machine)
+    return trail, copy
+
+
+class TestPaperExample:
+    def test_paper_example_identical(self):
+        trail, copy = run_both(paper_figure1_block(), example_2cluster())
+        assert fingerprint(trail) == fingerprint(copy)
+        assert trail.awct == pytest.approx(9.4, abs=1e-6)
+        # The trail run never copied a state; the copy run never probed one.
+        assert trail.stats["copies"] == 0 and trail.stats["probes"] > 0
+        assert copy.stats["probes"] == 0 and copy.stats["copies"] > 0
+        assert trail.stats["copies_avoided"] >= copy.stats["copies"]
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("block", KERNELS, ids=lambda b: b.name)
+class TestKernelsIdentical:
+    def test_schedules_byte_identical(self, block, machine):
+        trail, copy = run_both(block, machine)
+        assert fingerprint(trail) == fingerprint(copy)
+
+
+class TestSyntheticSuiteIdentical:
+    def test_seeded_synthetic_blocks(self):
+        gen = SuperblockGenerator(GeneratorConfig(min_ops=10, max_ops=26), seed=20)
+        blocks = gen.generate_many("determinism", 4)
+        machine = paper_2c_8i_1lat()
+        for block in blocks:
+            trail, copy = run_both(block, machine)
+            assert fingerprint(trail) == fingerprint(copy), block.name
+
+    def test_ablation_configs_identical(self):
+        """The equivalence holds for the ablation configurations too."""
+        block = paper_figure1_block()
+        machine = paper_2c_8i_1lat()
+        for kwargs in (
+            {"enable_plc": False},
+            {"eager_mapping": True},
+            {"use_matching": False},
+            {"stage1_slack_limit": 0.0},
+        ):
+            trail, copy = run_both(block, machine, **kwargs)
+            assert fingerprint(trail) == fingerprint(copy), kwargs
+
+    def test_budget_exhaustion_identical(self):
+        """Work accounting matches exactly, so both modes exhaust a budget
+        at the same point and fall back identically."""
+        block = string_search_kernel()
+        machine = paper_4c_16i_1lat()
+        for budget in (10, 200, 2000):
+            trail, copy = run_both(block, machine, work_budget=budget)
+            assert fingerprint(trail) == fingerprint(copy), budget
+            assert trail.timed_out == copy.timed_out
+
+    def test_trail_mode_repeatable(self):
+        """Two trail runs of the same input are identical (no hidden state)."""
+        block = dct_butterfly_kernel()
+        machine = paper_4c_16i_2lat()
+        first = VirtualClusterScheduler(VcsConfig(use_trail=True)).schedule(block, machine)
+        second = VirtualClusterScheduler(VcsConfig(use_trail=True)).schedule(block, machine)
+        assert fingerprint(first) == fingerprint(second)
