@@ -8,6 +8,11 @@ CI or at a larger scale for a closer look:
 * ``REPRO_BENCH_BLOCKS`` — superblocks generated per benchmark (default 2);
 * ``REPRO_BENCH_BUDGET`` — the large ("4-minute-equivalent") work budget for
   the proposed scheduler (default 60000 deduction rule firings).
+
+All experiment drivers execute through the parallel batch runner
+(``repro.runner``), so ``REPRO_JOBS=N`` shards every figure's block-level
+scheduling across N worker processes; the results are byte-identical to
+the serial default (``REPRO_JOBS=1``).
 """
 
 import os
@@ -23,6 +28,7 @@ except ImportError:  # Fallback: make the src layout importable in place.
 import pytest
 
 from repro.analysis import EffortThresholds
+from repro.runner import BatchScheduler
 
 
 def bench_blocks() -> int:
@@ -42,3 +48,10 @@ def bench_thresholds() -> EffortThresholds:
 @pytest.fixture(scope="session")
 def thresholds() -> EffortThresholds:
     return bench_thresholds()
+
+
+@pytest.fixture(scope="session")
+def runner() -> BatchScheduler:
+    """The batch runner every figure shards its jobs through
+    (worker count from ``REPRO_JOBS``, serial by default)."""
+    return BatchScheduler()

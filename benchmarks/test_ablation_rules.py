@@ -39,7 +39,7 @@ def _variants(budget):
     }
 
 
-def test_ablation_design_choices(benchmark, ablation_suite):
+def test_ablation_design_choices(benchmark, ablation_suite, runner):
     machine = paper_4c_16i_2lat()
     budget = max(bench_budget() // 2, 4000)
     outcome = {}
@@ -51,7 +51,7 @@ def test_ablation_design_choices(benchmark, ablation_suite):
             fallbacks = 0
             blocks = 0
             for workload in ablation_suite:
-                record = run_workload(workload, machine, vcs_config=config)
+                record = run_workload(workload, machine, vcs_config=config, runner=runner)
                 comparison = record.comparison()
                 speedups.append(comparison.speedup)
                 fallbacks += sum(1 for b in comparison.blocks if b.proposed_fallback)

@@ -26,13 +26,13 @@ def suite():
     return build_suite(all_profiles(), blocks_per_benchmark=bench_blocks())
 
 
-def test_fig10_compile_effort_distribution(benchmark, suite, thresholds):
+def test_fig10_compile_effort_distribution(benchmark, suite, thresholds, runner):
     """Regenerate the Figure 10 table for all three machine configurations."""
     machines = paper_configurations()
     stats = {}
 
     def run():
-        stats["rows"] = run_compile_time_experiment(suite, machines, thresholds)
+        stats["rows"] = run_compile_time_experiment(suite, machines, thresholds, runner=runner)
         return stats["rows"]
 
     benchmark.pedantic(run, rounds=1, iterations=1)

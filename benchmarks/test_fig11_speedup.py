@@ -27,13 +27,13 @@ def suite():
     return build_suite(all_profiles(), blocks_per_benchmark=bench_blocks())
 
 
-def _run(suite, machine, budget):
-    grouped = run_speedup_experiment([w for w in suite], [machine], work_budget=budget)
+def _run(suite, machine, budget, runner):
+    grouped = run_speedup_experiment([w for w in suite], [machine], work_budget=budget, runner=runner)
     return grouped[machine.name]
 
 
 @pytest.mark.parametrize("machine", paper_configurations(), ids=lambda m: m.name.replace(" ", "_"))
-def test_fig11_speedup_over_cars(benchmark, suite, machine):
+def test_fig11_speedup_over_cars(benchmark, suite, machine, runner):
     """Regenerate the Figure 11 series for one machine configuration."""
     large = bench_budget()
     small = max(large // 4, 2000)
@@ -41,8 +41,8 @@ def test_fig11_speedup_over_cars(benchmark, suite, machine):
     results = {}
 
     def run_both_thresholds():
-        results["th_small"] = _run(suite, machine, small)
-        results["th_large"] = _run(suite, machine, large)
+        results["th_small"] = _run(suite, machine, small, runner)
+        results["th_large"] = _run(suite, machine, large, runner)
         return results
 
     benchmark.pedantic(run_both_thresholds, rounds=1, iterations=1)

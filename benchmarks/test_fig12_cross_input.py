@@ -26,7 +26,7 @@ def fig12_suite():
     return build_suite(profiles, blocks_per_benchmark=max(bench_blocks(), 2))
 
 
-def test_fig12_cross_input_profiling(benchmark, fig12_suite):
+def test_fig12_cross_input_profiling(benchmark, fig12_suite, runner):
     """Regenerate the Figure 12 series (train-profile scheduling, ref-profile
     evaluation) and compare with the same-input speed-ups."""
     machines = paper_configurations()
@@ -34,8 +34,12 @@ def test_fig12_cross_input_profiling(benchmark, fig12_suite):
     results = {}
 
     def run():
-        results["cross"] = run_cross_input_experiment(fig12_suite, machines, work_budget=budget)
-        results["same"] = run_speedup_experiment(fig12_suite, machines, work_budget=budget)
+        results["cross"] = run_cross_input_experiment(
+            fig12_suite, machines, work_budget=budget, runner=runner
+        )
+        results["same"] = run_speedup_experiment(
+            fig12_suite, machines, work_budget=budget, runner=runner
+        )
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -42,7 +42,7 @@ def main():
 
     sgraph = SchedulingGraph(block, machine)
     print(f"Scheduling graph: {len(sgraph)} edges, {sgraph.n_combinations()} combinations")
-    print(f"  combinations between the two branches: "
+    print("  combinations between the two branches: "
           f"{[c.distance for c in sgraph.combinations(B0, B1)]}\n")
 
     dp = DeductionProcess()
@@ -57,7 +57,7 @@ def main():
                       SetExitDeadlines.from_mapping({B0: 4, B1: 7}))
     state = result.state
     print(f"  virtual clusters: {state.vcg.vcs()}")
-    print(f"  bounds: " + ", ".join(
+    print("  bounds: " + ", ".join(
         f"{block.op(i).name}:[{state.estart[i]},{int(state.lstart[i])}]" for i in block.op_ids))
     print("  (I0, I3 and B0 are forced into one virtual cluster: no copy fits between them)\n")
 
@@ -72,7 +72,7 @@ def main():
     print(baseline.schedule.as_table())
     print()
     print(f"Speed-up on this block: {baseline.awct / proposed.awct:.3f}x "
-          f"(the paper reports 9.4 vs a more constrained list schedule)")
+          "(the paper reports 9.4 vs a more constrained list schedule)")
 
 
 if __name__ == "__main__":

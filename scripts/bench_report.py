@@ -9,7 +9,14 @@ mode (trail vs legacy copy):
 * wall time and schedules/second,
 * deterministic DP work (deduction rule firings),
 * trail counters (probes, rollbacks, redos, copies avoided),
-* total AWCT (quality invariance check).
+* total AWCT (quality invariance check),
+* a SHA-256 digest of every produced schedule (the byte-identity key the
+  CI perf-regression gate compares).
+
+The trail-mode workload is run twice through the parallel batch runner
+(``repro.runner``): once serially and once with ``--jobs`` workers, so
+the report also records the sharded runner's wall-time throughput and
+verifies that parallel execution leaves every schedule byte-identical.
 
 Optionally (``--baseline-rev``, default the repository's seed commit) the
 same workload is also run against a past git revision in a subprocess, so
@@ -19,11 +26,13 @@ verifies that the produced schedules are byte-identical to the baseline's.
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py            # full report
-    PYTHONPATH=src python scripts/bench_report.py --skip-baseline
+    PYTHONPATH=src python scripts/bench_report.py --skip-baseline --jobs 4
     REPRO_BENCH_BLOCKS=4 PYTHONPATH=src python scripts/bench_report.py
 
 The perf smoke job of CI runs this with ``REPRO_BENCH_BLOCKS=1`` and
-uploads the JSON as an artifact, tracking the trajectory from PR 1 onward.
+``REPRO_JOBS=2``, gates on the result with
+``scripts/check_perf_regression.py`` and uploads the JSON as an
+artifact, tracking the trajectory from PR 1 onward.
 """
 
 from __future__ import annotations
@@ -39,6 +48,9 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
 #: The v0 seed revision: copy-per-probe deduction, linear rule dispatch.
 DEFAULT_BASELINE_REV = "746df46"
 
@@ -69,15 +81,42 @@ def build_workload(n_synth):
     return blocks
 
 
-def make_scheduler(mode):
-    from repro.scheduler import VirtualClusterScheduler
+def vcs_config_for(mode):
     if mode == "default":
-        return VirtualClusterScheduler()
+        return None
     from repro.scheduler import VcsConfig
     try:
-        return VirtualClusterScheduler(VcsConfig(use_trail=(mode == "trail")))
+        return VcsConfig(use_trail=(mode == "trail"))
     except TypeError:  # revision predates the use_trail knob
-        return VirtualClusterScheduler()
+        return None
+
+
+def make_scheduler(mode):
+    from repro.scheduler import VirtualClusterScheduler
+    config = vcs_config_for(mode)
+    return VirtualClusterScheduler() if config is None else VirtualClusterScheduler(config)
+
+
+def schedule_all(blocks, machine, mode):
+    # All proposed-scheduler results for one machine, in block order.
+    # Shards across the parallel batch runner when the tree has one
+    # (REPRO_JOBS workers); old revisions fall back to the serial loop.
+    try:
+        from repro.runner import BatchScheduler, ScheduleJob, run_schedule_job, schedule_job_id
+    except ImportError:
+        return [make_scheduler(mode).schedule(block, machine) for block in blocks]
+    jobs = [
+        ScheduleJob(
+            job_id=schedule_job_id("vcs", "bench", machine.name, index, block.name),
+            scheduler="vcs",
+            block=block,
+            machine=machine,
+            vcs_config=vcs_config_for(mode),
+            check_schedule=False,
+        )
+        for index, block in enumerate(blocks)
+    ]
+    return BatchScheduler().map(run_schedule_job, jobs).values
 
 
 def main(mode, n_synth, out_path):
@@ -91,8 +130,7 @@ def main(mode, n_synth, out_path):
         stats_total = {}
         awct_total = 0.0
         t0 = time.perf_counter()
-        for block in blocks:
-            result = make_scheduler(mode).schedule(block, machine)
+        for block, result in zip(blocks, schedule_all(blocks, machine, mode)):
             runs += 1
             work += result.work
             awct_total += result.awct if result.ok else 0.0
@@ -127,13 +165,14 @@ if __name__ == "__main__":
 """
 
 
-def run_driver(python_path: str, mode: str, n_synth: int) -> dict:
+def run_driver(python_path: str, mode: str, n_synth: int, jobs: int = 1) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
         driver = Path(tmp) / "driver.py"
         out = Path(tmp) / "out.json"
         driver.write_text(DRIVER)
         env = dict(os.environ)
         env["PYTHONPATH"] = python_path
+        env["REPRO_JOBS"] = str(jobs)
         subprocess.run(
             [sys.executable, str(driver), mode, str(n_synth), str(out)],
             check=True,
@@ -159,14 +198,21 @@ def export_revision(rev: str) -> tempfile.TemporaryDirectory:
     return tmp
 
 
-def strip_fingerprints(report: dict) -> dict:
-    return {
-        **report,
-        "machines": [
-            {k: v for k, v in m.items() if k != "fingerprints"}
-            for m in report["machines"]
-        ],
-    }
+def digest_fingerprints(report: dict) -> dict:
+    """Replace each machine's raw fingerprint list with its SHA-256 digest.
+
+    The digest is what the committed report stores and what the CI
+    perf-regression gate compares, so schedule byte-identity is tracked
+    without committing the schedules themselves.
+    """
+    from repro.runner import fingerprint_digest
+
+    machines = []
+    for m in report["machines"]:
+        entry = {k: v for k, v in m.items() if k != "fingerprints"}
+        entry["schedule_digest"] = fingerprint_digest(m["fingerprints"])
+        machines.append(entry)
+    return {**report, "machines": machines}
 
 
 def main() -> int:
@@ -184,13 +230,26 @@ def main() -> int:
         help="git revision to compare against (seed commit by default)",
     )
     parser.add_argument("--skip-baseline", action="store_true")
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        help="workers for the parallel-runner measurement (default: $REPRO_JOBS or 2)",
+    )
     args = parser.parse_args()
 
+    from repro.runner import resolve_jobs
+
+    jobs = resolve_jobs(args.jobs)
+    if jobs <= 1:
+        jobs = 2  # the serial run is measured separately; always exercise the pool
+
     src = str(REPO_ROOT / "src")
-    print(f"[bench] current tree, trail mode ({args.blocks} synthetic blocks)...")
-    trail = run_driver(src, "trail", args.blocks)
+    print(f"[bench] current tree, trail mode, serial ({args.blocks} synthetic blocks)...")
+    trail = run_driver(src, "trail", args.blocks, jobs=1)
+    print(f"[bench] current tree, trail mode, parallel ({jobs} workers)...")
+    parallel = run_driver(src, "trail", args.blocks, jobs=jobs)
     print("[bench] current tree, copy mode...")
-    copy = run_driver(src, "copy", args.blocks)
+    copy = run_driver(src, "copy", args.blocks, jobs=1)
 
     baseline = None
     baseline_identical = None
@@ -212,6 +271,11 @@ def main() -> int:
         return sum(m["wall_time_s"] for m in report["machines"])
 
     trail_wall, copy_wall = total_wall(trail), total_wall(copy)
+    parallel_wall = total_wall(parallel)
+    parallel_identical = all(
+        s["fingerprints"] == p["fingerprints"]
+        for s, p in zip(trail["machines"], parallel["machines"])
+    )
     summary = {
         "generated_unix": time.time(),
         "workload": {
@@ -219,19 +283,29 @@ def main() -> int:
             "synthetic_blocks": args.blocks,
             "machines": [m["machine"] for m in trail["machines"]],
         },
-        "trail": strip_fingerprints(trail),
-        "copy": strip_fingerprints(copy),
+        "trail": digest_fingerprints(trail),
+        "copy": digest_fingerprints(copy),
         "trail_vs_copy_speedup": copy_wall / trail_wall if trail_wall else None,
         "schedules_identical_trail_vs_copy": all(
             t["fingerprints"] == c["fingerprints"]
             for t, c in zip(trail["machines"], copy["machines"])
         ),
+        "parallel": {
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "wall_time_s": parallel_wall,
+            "serial_wall_time_s": trail_wall,
+            "throughput_speedup_vs_serial": (
+                trail_wall / parallel_wall if parallel_wall else None
+            ),
+            "schedules_identical_serial_vs_parallel": parallel_identical,
+        },
     }
     if baseline is not None:
         base_wall = total_wall(baseline)
         summary["baseline"] = {
             "rev": args.baseline_rev,
-            **strip_fingerprints(baseline),
+            **digest_fingerprints(baseline),
         }
         summary["baseline_vs_current_speedup"] = (
             base_wall / trail_wall if trail_wall else None
@@ -244,6 +318,10 @@ def main() -> int:
     print(f"[bench] trail {trail_wall:.2f}s | copy {copy_wall:.2f}s | "
           f"trail-vs-copy {summary['trail_vs_copy_speedup']:.2f}x | "
           f"identical={summary['schedules_identical_trail_vs_copy']}")
+    print(f"[bench] runner: parallel({jobs} workers, {os.cpu_count()} cpus) {parallel_wall:.2f}s | "
+          f"serial {trail_wall:.2f}s | "
+          f"throughput {summary['parallel']['throughput_speedup_vs_serial']:.2f}x | "
+          f"identical={parallel_identical}")
     if baseline is not None:
         print(f"[bench] baseline({args.baseline_rev}) {total_wall(baseline):.2f}s | "
               f"speedup {summary['baseline_vs_current_speedup']:.2f}x | "

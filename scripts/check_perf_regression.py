@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: compare a fresh ``BENCH_vcs.json`` against
+the committed one.
+
+Gated (the job fails on any mismatch):
+
+* the workload definition (kernels, synthetic blocks, machines) — a drift
+  here means the two reports are not comparable at all;
+* per machine and probing mode: ``dp_work`` (deterministic deduction
+  effort) and ``schedule_digest`` (SHA-256 over every produced schedule)
+  — together they detect both silent behaviour changes and schedule
+  regressions;
+* the fresh report's serial-vs-parallel identity flag — the parallel
+  runner must not change any schedule.
+
+Reported but NOT gated: wall times and throughput (host dependent).
+
+Usage::
+
+    python scripts/check_perf_regression.py BENCH_vcs.json BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Probing modes whose deterministic outputs are gated.
+GATED_MODES = ("trail", "copy")
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"[gate] cannot read {path}: {exc}")
+
+
+def machine_rows(report: dict, mode: str) -> dict:
+    return {m["machine"]: m for m in report.get(mode, {}).get("machines", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("committed", help="the BENCH_vcs.json checked into the repository")
+    parser.add_argument("fresh", help="the BENCH_vcs.json produced by this run")
+    args = parser.parse_args()
+
+    committed = load(args.committed)
+    fresh = load(args.fresh)
+    errors = []
+
+    if committed.get("workload") != fresh.get("workload"):
+        errors.append(
+            "workload definition differs (not comparable):\n"
+            f"  committed: {committed.get('workload')}\n"
+            f"  fresh:     {fresh.get('workload')}"
+        )
+    else:
+        for mode in GATED_MODES:
+            old_rows = machine_rows(committed, mode)
+            new_rows = machine_rows(fresh, mode)
+            if set(old_rows) != set(new_rows):
+                errors.append(
+                    f"{mode}: machine sets differ: {sorted(old_rows)} vs {sorted(new_rows)}"
+                )
+                continue
+            for name in old_rows:
+                old, new = old_rows[name], new_rows[name]
+                for key in ("dp_work", "schedule_digest"):
+                    if old.get(key) != new.get(key):
+                        errors.append(
+                            f"{mode} / {name}: {key} changed: "
+                            f"{old.get(key)!r} -> {new.get(key)!r}"
+                        )
+                old_wall, new_wall = old.get("wall_time_s"), new.get("wall_time_s")
+                if old_wall and new_wall:
+                    print(
+                        f"[gate] {mode:5s} / {name}: wall {old_wall:.2f}s -> {new_wall:.2f}s "
+                        f"({new_wall / old_wall:.2f}x, not gated)"
+                    )
+
+    runner = fresh.get("parallel", {})
+    if runner.get("schedules_identical_serial_vs_parallel") is not True:
+        errors.append(
+            "parallel runner produced schedules that differ from the serial run "
+            f"(parallel section: {runner})"
+        )
+    else:
+        print(
+            f"[gate] parallel runner: {runner.get('jobs')} workers on "
+            f"{runner.get('cpu_count')} cpus, serial {runner.get('serial_wall_time_s', 0):.2f}s "
+            f"-> parallel {runner.get('wall_time_s', 0):.2f}s "
+            f"({(runner.get('throughput_speedup_vs_serial') or 0):.2f}x throughput, not gated), "
+            "schedules identical"
+        )
+
+    if fresh.get("schedules_identical_trail_vs_copy") is not True:
+        errors.append("trail and copy probing modes disagree in the fresh run")
+
+    if errors:
+        print("\n[gate] PERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    print("[gate] ok: dp_work and schedule digests match the committed report")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+#!/usr/bin/env python
+"""Run the paper's evaluation suite through the parallel batch runner.
+
+Schedules the selected benchmarks on the selected machine configurations
+with CARS and with the proposed technique, sharded across ``--jobs``
+worker processes, and emits the per-benchmark speed-up series
+(Figure 11), the compile-effort distribution (Figure 10) and optionally
+the cross-input comparison (Figure 12) as tables on stdout and as JSON.
+
+The JSON has two top-level keys: ``results`` is a pure function of the
+workload definition (schedule digests, dp work, cycle counts — byte-
+identical for any ``--jobs`` value), while ``meta`` carries the
+non-deterministic context (wall time, worker count, host).  The CI
+perf-regression gate and the determinism tests compare ``results`` only.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_suite.py --jobs 4
+    PYTHONPATH=src python scripts/run_suite.py --suite specint --blocks 4
+    PYTHONPATH=src python scripts/run_suite.py --experiment all --output suite.json
+    PYTHONPATH=src python scripts/run_suite.py --benchmarks 130.li g721dec --jobs auto
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import EffortThresholds, format_compile_time_table, format_speedup_series
+from repro.analysis.experiments import (
+    run_compile_time_experiment,
+    run_cross_input_experiment,
+    run_speedup_records,
+)
+from repro.machine import paper_configurations
+from repro.runner import BatchScheduler, fingerprint_digest
+from repro.workloads import all_profiles, build_suite, profile_by_name
+
+EXPERIMENTS = ("speedup", "compile-time", "cross-input")
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--experiment",
+        choices=EXPERIMENTS + ("all",),
+        default="speedup",
+        help="which evaluation to run (default: speedup)",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("all", "specint", "mediabench"),
+        default="all",
+        help="benchmark suite to run (default: all 14 applications)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help="explicit benchmark names (overrides --suite)",
+    )
+    parser.add_argument(
+        "--machines",
+        nargs="+",
+        metavar="NAME",
+        help="machine configuration names (default: the paper's three)",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=2,
+        help="superblocks generated per benchmark (default: 2)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=60_000,
+        help="deduction-work budget per block (default: 60000)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        help="worker processes: an integer or 'auto' (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="jobs per pool task (default: computed from the batch size)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job time allowance in seconds (default: none)",
+    )
+    parser.add_argument("--output", metavar="PATH", help="write the JSON report here")
+    parser.add_argument("--quiet", action="store_true", help="suppress the stdout tables")
+    return parser.parse_args(argv)
+
+
+def select_profiles(args: argparse.Namespace):
+    if args.benchmarks:
+        return [profile_by_name(name) for name in args.benchmarks]
+    profiles = all_profiles()
+    if args.suite != "all":
+        profiles = [p for p in profiles if p.suite == args.suite]
+    return profiles
+
+
+def select_machines(args: argparse.Namespace):
+    machines = paper_configurations()
+    if not args.machines:
+        return machines
+    by_name = {m.name: m for m in machines}
+    try:
+        return [by_name[name] for name in args.machines]
+    except KeyError as exc:
+        raise SystemExit(f"unknown machine {exc.args[0]!r}; known: {sorted(by_name)}") from None
+
+
+def comparison_row(comparison) -> dict:
+    return {
+        "benchmark": comparison.name,
+        "suite": comparison.suite,
+        "n_blocks": comparison.n_blocks,
+        "baseline_cycles": comparison.baseline_cycles,
+        "proposed_cycles": comparison.proposed_cycles,
+        "speedup": comparison.speedup,
+        "fallback_fraction": comparison.fallback_fraction,
+    }
+
+
+def effort_row(stats, thresholds: EffortThresholds) -> dict:
+    return {
+        "scheduler": stats.scheduler,
+        "machine": stats.machine,
+        "n_blocks": stats.n_blocks,
+        "total_work": stats.total_work,
+        "timed_out_blocks": stats.timed_out_blocks,
+        "fractions": stats.fractions(thresholds),
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    profiles = select_profiles(args)
+    machines = select_machines(args)
+    runner = BatchScheduler(jobs=args.jobs, chunk_size=args.chunk_size, timeout=args.timeout)
+    experiments = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+
+    suite = build_suite(profiles, blocks_per_benchmark=args.blocks)
+    n_blocks = sum(w.n_blocks for w in suite)
+    if not args.quiet:
+        print(
+            f"[suite] {len(suite)} benchmarks x {args.blocks} blocks x "
+            f"{len(machines)} machines ({2 * n_blocks * len(machines)} jobs per experiment) "
+            f"on {runner.n_workers} worker(s)"
+        )
+
+    results: dict = {
+        "workload": {
+            "benchmarks": [p.name for p in profiles],
+            "blocks_per_benchmark": args.blocks,
+            "machines": [m.name for m in machines],
+            "work_budget": args.budget,
+        },
+    }
+    t0 = time.perf_counter()
+
+    if "speedup" in experiments:
+        grouped = run_speedup_records(suite, machines, work_budget=args.budget, runner=runner)
+        results["speedup"] = {
+            machine.name: [record.comparison() for record in grouped[machine.name]]
+            for machine in machines
+        }
+        results["schedule_digests"] = {
+            machine.name: fingerprint_digest(
+                fp for record in grouped[machine.name] for fp in record.fingerprints()
+            )
+            for machine in machines
+        }
+        results["dp_work"] = {
+            machine.name: sum(
+                result.work
+                for record in grouped[machine.name]
+                for result in record.baseline_results + record.proposed_results
+            )
+            for machine in machines
+        }
+        if not args.quiet:
+            for machine in machines:
+                print(f"\n=== speed-up over CARS | {machine.name} ===")
+                print(format_speedup_series(results["speedup"][machine.name]))
+        results["speedup"] = {
+            name: [comparison_row(c) for c in rows] for name, rows in results["speedup"].items()
+        }
+
+    if "compile-time" in experiments:
+        thresholds = EffortThresholds(
+            small=max(args.budget // 30, 500),
+            medium=max(args.budget // 4, 2000),
+            large=args.budget,
+        )
+        stats = run_compile_time_experiment(suite, machines, thresholds, runner=runner)
+        if not args.quiet:
+            print("\n=== compile-effort distribution ===")
+            print(format_compile_time_table(stats, thresholds))
+        results["compile_time"] = {
+            "thresholds": dict(zip(thresholds.labels, thresholds.as_tuple())),
+            "rows": [effort_row(s, thresholds) for s in stats],
+        }
+
+    if "cross-input" in experiments:
+        grouped = run_cross_input_experiment(
+            suite, machines, work_budget=args.budget, runner=runner
+        )
+        if not args.quiet:
+            for machine in machines:
+                print(f"\n=== cross-input (train-profile scheduling) | {machine.name} ===")
+                print(format_speedup_series(grouped[machine.name]))
+        results["cross_input"] = {
+            name: [comparison_row(c) for c in rows] for name, rows in grouped.items()
+        }
+
+    wall = time.perf_counter() - t0
+    report = {
+        "meta": {
+            "jobs": runner.n_workers,
+            "cpu_count": os.cpu_count(),
+            "wall_time_s": wall,
+            "experiments": list(experiments),
+            "python": sys.version.split()[0],
+        },
+        "results": results,
+    }
+    if not args.quiet:
+        per_sec = (2 * n_blocks * len(machines) * len(experiments)) / wall if wall > 0 else 0.0
+        print(
+            f"\n[suite] wall time {wall:.2f}s "
+            f"({per_sec:.1f} schedules/s, {runner.n_workers} worker(s))"
+        )
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"[suite] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

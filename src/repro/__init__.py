@@ -95,6 +95,14 @@ from repro.analysis import (
     format_speedup_series,
     format_compile_time_table,
 )
+from repro.runner import (
+    BatchScheduler,
+    BatchError,
+    ScheduleJob,
+    enumerate_workload_jobs,
+    run_schedule_job,
+    resolve_jobs,
+)
 
 __version__ = "1.0.0"
 
@@ -168,5 +176,12 @@ __all__ = [
     "collect_effort",
     "format_speedup_series",
     "format_compile_time_table",
+    # parallel runner
+    "BatchScheduler",
+    "BatchError",
+    "ScheduleJob",
+    "enumerate_workload_jobs",
+    "run_schedule_job",
+    "resolve_jobs",
     "__version__",
 ]

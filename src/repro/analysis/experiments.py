@@ -4,26 +4,30 @@ Each function reproduces the workflow of one of the paper's evaluation
 figures: schedule every block of a workload with CARS and with the proposed
 technique (at a given compile-effort threshold), aggregate the results and
 return both the raw records and the formatted report.
+
+Every driver executes through the parallel runner
+(:mod:`repro.runner`): the full (workload, machine, block) cross product
+of an experiment is enumerated up front as one flat job list, sharded
+across worker processes, and merged back in enumeration order — so the
+records an experiment returns are byte-identical whether it ran serially
+(the ``REPRO_JOBS=1`` default) or on every core of the machine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.compile_time import CompileEffortStats, EffortThresholds, collect_effort
 from repro.analysis.metrics import (
     BenchmarkComparison,
-    BlockComparison,
     compare_block,
     evaluate_benchmark,
 )
-from repro.analysis.report import format_compile_time_table, format_speedup_series
 from repro.machine.machine import ClusteredMachine
-from repro.scheduler.cars import CarsScheduler
-from repro.scheduler.correctness import validate_schedule
+from repro.runner import BatchScheduler, enumerate_workload_jobs, run_schedule_job
 from repro.scheduler.schedule import ScheduleResult
-from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+from repro.scheduler.vcs import VcsConfig
 from repro.workloads.suite import BenchmarkWorkload, train_variant
 
 
@@ -51,6 +55,78 @@ class ExperimentRecord:
             collect_effort("VCS", self.machine.name, self.proposed_results),
         )
 
+    def fingerprints(self) -> List[list]:
+        """Canonical fingerprints of every result, baseline then proposed
+        per block — the payload the determinism checks compare."""
+        out: List[list] = []
+        for base, prop in zip(self.baseline_results, self.proposed_results):
+            out.append(base.fingerprint())
+            out.append(prop.fingerprint())
+        return out
+
+
+@dataclass(frozen=True)
+class _RecordSpec:
+    """One (workload, machine) record to produce, with its job slice."""
+
+    workload: BenchmarkWorkload
+    machine: ClusteredMachine
+    offset: int
+    n_jobs: int
+
+
+def _effective_config(vcs_config: Optional[VcsConfig], work_budget: Optional[int]) -> VcsConfig:
+    config = vcs_config or VcsConfig()
+    if work_budget is not None:
+        config = replace(config, work_budget=work_budget)
+    return config
+
+
+def run_experiment_records(
+    pairs: Sequence[Tuple[BenchmarkWorkload, ClusteredMachine]],
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+    scheduling_blocks: Optional[Dict[str, Sequence]] = None,
+    runner: Optional[BatchScheduler] = None,
+) -> List[ExperimentRecord]:
+    """Schedule every block of every ``(workload, machine)`` pair as one
+    flat batch and regroup the results into per-pair records.
+
+    ``scheduling_blocks`` optionally maps a workload name to different
+    blocks (same DGs, different profiles) to *schedule*, while the
+    workload's own blocks are what the caller will later *evaluate*
+    against — the Figure 12 setup.
+    """
+    config = _effective_config(vcs_config, work_budget)
+    jobs = []
+    specs: List[_RecordSpec] = []
+    for workload, machine in pairs:
+        blocks = workload.blocks
+        if scheduling_blocks is not None and workload.name in scheduling_blocks:
+            blocks = scheduling_blocks[workload.name]
+        pair_jobs = enumerate_workload_jobs(
+            workload.name,
+            blocks,
+            machine,
+            vcs_config=config,
+            check_schedules=check_schedules,
+        )
+        specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
+        jobs.extend(pair_jobs)
+
+    batch = (runner or BatchScheduler()).map(run_schedule_job, jobs)
+
+    records: List[ExperimentRecord] = []
+    for spec in specs:
+        record = ExperimentRecord(workload=spec.workload, machine=spec.machine)
+        # Jobs come in (cars, vcs) pairs per block, in block order.
+        for i in range(spec.offset, spec.offset + spec.n_jobs, 2):
+            record.baseline_results.append(batch.values[i])
+            record.proposed_results.append(batch.values[i + 1])
+        records.append(record)
+    return records
+
 
 def run_workload(
     workload: BenchmarkWorkload,
@@ -59,6 +135,7 @@ def run_workload(
     vcs_config: Optional[VcsConfig] = None,
     check_schedules: bool = True,
     scheduling_blocks: Optional[Sequence] = None,
+    runner: Optional[BatchScheduler] = None,
 ) -> ExperimentRecord:
     """Schedule every block of *workload* with CARS and with the proposed
     technique.
@@ -67,23 +144,35 @@ def run_workload(
     different profiles) to *schedule*, while the workload's own blocks are
     what the caller will later *evaluate* against — the Figure 12 setup.
     """
-    cars = CarsScheduler()
-    config = vcs_config or VcsConfig()
-    if work_budget is not None:
-        config = VcsConfig(**{**config.__dict__, "work_budget": work_budget})
-    vcs = VirtualClusterScheduler(config)
+    overrides = None
+    if scheduling_blocks is not None:
+        overrides = {workload.name: scheduling_blocks}
+    return run_experiment_records(
+        [(workload, machine)],
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        check_schedules=check_schedules,
+        scheduling_blocks=overrides,
+        runner=runner,
+    )[0]
 
-    record = ExperimentRecord(workload=workload, machine=machine)
-    source_blocks = scheduling_blocks if scheduling_blocks is not None else workload.blocks
-    for block in source_blocks:
-        baseline = cars.schedule(block, machine)
-        proposed = vcs.schedule(block, machine)
-        if check_schedules:
-            validate_schedule(baseline.schedule).raise_if_invalid()
-            validate_schedule(proposed.schedule).raise_if_invalid()
-        record.baseline_results.append(baseline)
-        record.proposed_results.append(proposed)
-    return record
+
+def run_speedup_records(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    runner: Optional[BatchScheduler] = None,
+) -> Dict[str, List[ExperimentRecord]]:
+    """The raw records behind Figure 11, grouped by machine name."""
+    pairs = [(workload, machine) for machine in machines for workload in workloads]
+    records = run_experiment_records(
+        pairs, work_budget=work_budget, vcs_config=vcs_config, runner=runner
+    )
+    grouped: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
+    for record in records:
+        grouped[record.machine.name].append(record)
+    return grouped
 
 
 def run_speedup_experiment(
@@ -91,38 +180,40 @@ def run_speedup_experiment(
     machines: Sequence[ClusteredMachine],
     work_budget: Optional[int] = None,
     vcs_config: Optional[VcsConfig] = None,
+    runner: Optional[BatchScheduler] = None,
 ) -> Dict[str, List[BenchmarkComparison]]:
     """Figure 11: per-benchmark speed-up of the proposed technique over CARS
     for every machine configuration.  Returns comparisons grouped by machine
     name."""
-    grouped: Dict[str, List[BenchmarkComparison]] = {}
-    for machine in machines:
-        rows: List[BenchmarkComparison] = []
-        for workload in workloads:
-            record = run_workload(workload, machine, work_budget=work_budget, vcs_config=vcs_config)
-            rows.append(record.comparison())
-        grouped[machine.name] = rows
-    return grouped
+    grouped = run_speedup_records(
+        workloads, machines, work_budget=work_budget, vcs_config=vcs_config, runner=runner
+    )
+    return {
+        machine_name: [record.comparison() for record in records]
+        for machine_name, records in grouped.items()
+    }
 
 
 def run_compile_time_experiment(
     workloads: Sequence[BenchmarkWorkload],
     machines: Sequence[ClusteredMachine],
     thresholds: EffortThresholds,
+    runner: Optional[BatchScheduler] = None,
 ) -> List[CompileEffortStats]:
     """Figure 10: compile-effort distribution of CARS and the proposed
     technique on every machine (the proposed technique runs without a budget
     so the full effort per block is observed)."""
+    pairs = [(workload, machine) for machine in machines for workload in workloads]
+    records = run_experiment_records(pairs, work_budget=thresholds.large, runner=runner)
+    by_machine: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
+    for record in records:
+        by_machine[record.machine.name].append(record)
+
     stats: List[CompileEffortStats] = []
     for machine in machines:
         cars_results: List[ScheduleResult] = []
         vcs_results: List[ScheduleResult] = []
-        for workload in workloads:
-            record = run_workload(
-                workload,
-                machine,
-                work_budget=thresholds.large,
-            )
+        for record in by_machine[machine.name]:
             cars_results.extend(record.baseline_results)
             vcs_results.extend(record.proposed_results)
         stats.append(collect_effort("CARS", machine.name, cars_results))
@@ -135,6 +226,7 @@ def run_cross_input_experiment(
     machines: Sequence[ClusteredMachine],
     work_budget: Optional[int] = None,
     noise: float = 0.35,
+    runner: Optional[BatchScheduler] = None,
 ) -> Dict[str, List[BenchmarkComparison]]:
     """Figure 12: schedule with the ``train`` profile, evaluate with ``ref``.
 
@@ -142,17 +234,18 @@ def run_cross_input_experiment(
     technique schedule the train blocks, and the resulting schedules are
     evaluated with the original (ref) exit probabilities and execution
     counts."""
-    grouped: Dict[str, List[BenchmarkComparison]] = {}
-    for machine in machines:
-        rows: List[BenchmarkComparison] = []
-        for workload in workloads:
-            train = train_variant(workload, noise=noise)
-            record = run_workload(
-                workload,
-                machine,
-                work_budget=work_budget,
-                scheduling_blocks=train.blocks,
-            )
-            rows.append(record.comparison(evaluation_blocks=workload.blocks))
-        grouped[machine.name] = rows
+    # Train variants are seeded by workload name only, so deriving them
+    # once up front is identical to deriving them per machine.
+    train_blocks = {
+        workload.name: train_variant(workload, noise=noise).blocks for workload in workloads
+    }
+    pairs = [(workload, machine) for machine in machines for workload in workloads]
+    records = run_experiment_records(
+        pairs, work_budget=work_budget, scheduling_blocks=train_blocks, runner=runner
+    )
+    grouped: Dict[str, List[BenchmarkComparison]] = {machine.name: [] for machine in machines}
+    for record in records:
+        grouped[record.machine.name].append(
+            record.comparison(evaluation_blocks=record.workload.blocks)
+        )
     return grouped

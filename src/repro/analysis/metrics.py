@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.bounds.awct import awct
 from repro.ir.superblock import Superblock

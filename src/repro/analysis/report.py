@@ -6,7 +6,7 @@ paper-vs-measured comparison built from them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import List, Sequence
 
 from repro.analysis.compile_time import CompileEffortStats, EffortThresholds
 from repro.analysis.metrics import BenchmarkComparison, geometric_mean

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional
 
 from repro.bounds.estart import compute_estart
-from repro.ir.operation import OpClass
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
 

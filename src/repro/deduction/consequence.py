@@ -10,8 +10,8 @@ reached after the decision admits no valid schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
 
 
 class Contradiction(Exception):

@@ -177,12 +177,12 @@ class VCFusionResourceRule(Rule):
                     if per_cluster < 2:
                         raise Contradiction(
                             f"operations {first} and {second} share a cycle and the "
-                            f"fused virtual cluster but no cluster issues two "
+                            "fused virtual cluster but no cluster issues two "
                             f"{op_a.op_class} operations"
                         )
                 if per_cluster_issue < 2:
                     raise Contradiction(
                         f"operations {first} and {second} share a cycle and the fused "
-                        f"virtual cluster but clusters are single-issue"
+                        "virtual cluster but clusters are single-issue"
                     )
         return []

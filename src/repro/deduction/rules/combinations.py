@@ -122,7 +122,7 @@ class ChosenCombinationClusterRule(Rule):
             if state.same_vc(u, v):
                 raise Contradiction(
                     f"operations {u} and {v} share a cycle and a virtual cluster but "
-                    f"no cluster can issue both"
+                    "no cluster can issue both"
                 )
             out += state.mark_incompatible(u, v)
         return out

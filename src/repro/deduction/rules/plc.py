@@ -9,7 +9,7 @@ them to fully linked ones as soon as the open endpoint is determined.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.deduction.consequence import (
     Change,

@@ -34,7 +34,7 @@ the operations fixed at each cycle — all kept coherent by the same trail.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bounds.estart import compute_estart
 from repro.deduction.consequence import (

@@ -9,8 +9,8 @@ evaluation uses to weight the block's AWCT into a total cycle count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.ir.depgraph import DependenceGraph
 from repro.ir.operation import OpClass, Operation

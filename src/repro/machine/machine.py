@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.ir.operation import OpClass, Operation
 from repro.machine.cluster import ClusterConfig
 from repro.machine.interconnect import BusConfig
-from repro.machine.resources import FuKind, fu_kind_for
+from repro.machine.resources import fu_kind_for
 
 
 @dataclass(frozen=True)

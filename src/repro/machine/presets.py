@@ -15,7 +15,7 @@ machine issuing two non-branch and one branch operation per cycle.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.machine.cluster import ClusterConfig
 from repro.machine.interconnect import BusConfig

@@ -1,0 +1,50 @@
+"""Parallel batch execution of independent scheduling jobs.
+
+Block-level scheduling is embarrassingly parallel: every (superblock,
+machine, scheduler) job is independent and deterministic, so the whole
+paper evaluation (Figures 10-12, the perf smoke, ``scripts/run_suite.py``)
+can be sharded across a process pool.  The package provides:
+
+* :class:`BatchScheduler` — shards a job list across a
+  ``ProcessPoolExecutor`` (chunked dispatch, per-job error and timeout
+  capture) and merges the results back into submission order, so the
+  output is byte-identical to a serial run regardless of completion
+  order.  ``REPRO_JOBS=1`` (the default) selects an in-process serial
+  backend with the same interface.
+* :class:`ScheduleJob` / :func:`run_schedule_job` — the picklable job
+  description and the module-level worker that executes one scheduler on
+  one block.
+* :func:`enumerate_workload_jobs` — deterministic job enumeration with
+  stable job ids for one workload on one machine.
+
+The determinism guarantee is documented in DESIGN.md ("The parallel
+runner"); ``tests/test_runner.py`` enforces it.
+"""
+
+from repro.runner.batch import (
+    BatchError,
+    BatchResult,
+    BatchScheduler,
+    JobFailure,
+    resolve_jobs,
+)
+from repro.runner.jobs import (
+    ScheduleJob,
+    enumerate_workload_jobs,
+    fingerprint_digest,
+    run_schedule_job,
+    schedule_job_id,
+)
+
+__all__ = [
+    "BatchError",
+    "BatchResult",
+    "BatchScheduler",
+    "JobFailure",
+    "resolve_jobs",
+    "ScheduleJob",
+    "enumerate_workload_jobs",
+    "fingerprint_digest",
+    "run_schedule_job",
+    "schedule_job_id",
+]

@@ -1,0 +1,312 @@
+"""The batch scheduler: deterministic sharded execution of a job list.
+
+Jobs are assumed independent and deterministic.  The scheduler cuts the
+job list into contiguous chunks, runs the chunks on a process pool and
+writes every result back into the slot of its originating job, so the
+returned value list is in submission order no matter which worker
+finished first — a parallel run is byte-identical to a serial one.
+
+Failure handling is per job: an exception inside a job is captured in
+the worker (type, message, traceback) and reported as a
+:class:`JobFailure` without poisoning the rest of its chunk.  Two whole-
+pool failure modes are also mapped back onto jobs: a worker process that
+dies (``BrokenProcessPool``) fails every job still in flight, and an
+expired chunk deadline (``timeout`` × jobs in the chunk) tears the pool
+down and fails the unfinished jobs as ``timeout`` / ``cancelled``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: Environment variable selecting the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[object] = None) -> int:
+    """Resolve a worker count from an explicit value or ``REPRO_JOBS``.
+
+    ``None`` falls back to the environment variable, and an unset
+    environment means serial execution.  ``"auto"`` (or any value <= 0)
+    selects the machine's CPU count.
+    """
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV_VAR, "1")
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(f"invalid job count {jobs!r}: expected an integer or 'auto'") from None
+    count = int(jobs)
+    if count <= 0:
+        return os.cpu_count() or 1
+    return count
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job that did not produce a result."""
+
+    index: int
+    job_id: str
+    #: ``"error"`` (exception in the job), ``"timeout"`` (chunk deadline
+    #: expired), ``"crash"`` (worker process died) or ``"cancelled"``
+    #: (chunk abandoned while tearing the pool down).
+    kind: str
+    error_type: str = ""
+    message: str = ""
+    traceback_text: str = ""
+
+    def describe(self) -> str:
+        detail = f": {self.error_type}: {self.message}" if self.error_type else ""
+        return f"job {self.job_id} [{self.kind}]{detail}"
+
+
+class BatchError(RuntimeError):
+    """Raised when a batch had failures and ``on_error='raise'``."""
+
+    def __init__(self, failures: Sequence[JobFailure]):
+        self.failures = list(failures)
+        lines = [failure.describe() for failure in self.failures[:5]]
+        if len(self.failures) > 5:
+            lines.append(f"... and {len(self.failures) - 5} more")
+        super().__init__(f"{len(self.failures)} of the batch's jobs failed:\n" + "\n".join(lines))
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch, in submission order."""
+
+    #: One entry per job, in submission order; ``None`` for failed jobs.
+    values: List[Any]
+    failures: List[JobFailure] = field(default_factory=list)
+    wall_time: float = 0.0
+    n_workers: int = 1
+    chunk_size: int = 1
+    backend: str = "serial"
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.values)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: List[Tuple[int, Any]]
+) -> List[Tuple[int, str, Any]]:
+    """Worker entry point: run every job of a chunk, capturing per-job errors.
+
+    Module-level so it pickles by reference under every start method.
+    """
+    out: List[Tuple[int, str, Any]] = []
+    for index, payload in chunk:
+        # Exception (not BaseException) to match the serial backend:
+        # SystemExit/KeyboardInterrupt abort the worker in both modes.
+        try:
+            out.append((index, "ok", fn(payload)))
+        except Exception as exc:
+            out.append((index, "err", (type(exc).__name__, str(exc), traceback.format_exc())))
+    return out
+
+
+class BatchScheduler:
+    """Shard a list of independent jobs across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` reads ``REPRO_JOBS`` (default 1 = serial),
+        ``"auto"`` or values <= 0 use the CPU count.
+    chunk_size:
+        Jobs dispatched per pool task; ``None`` picks
+        ``ceil(n_jobs / (4 * workers))`` so each worker sees ~4 chunks
+        (amortises pickling without starving the pool near the end).
+    timeout:
+        Per-job time allowance in seconds, enforced at chunk granularity
+        (a chunk's deadline is ``timeout`` times its job count).  ``None``
+        disables the deadline.  Only the process backend can preempt; the
+        serial backend runs every job to completion.
+    mp_context:
+        Optional ``multiprocessing`` context (e.g. to force ``"spawn"``).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[object] = None,
+        chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        mp_context: Optional[object] = None,
+    ):
+        self.n_workers = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        job_ids: Optional[Sequence[str]] = None,
+        on_error: str = "raise",
+    ) -> BatchResult:
+        """Run ``fn`` over ``payloads``; results come back in input order.
+
+        ``on_error='raise'`` raises :class:`BatchError` if any job failed;
+        ``on_error='capture'`` returns the failures in the result instead,
+        with ``None`` in the failed jobs' value slots.
+        """
+        if on_error not in ("raise", "capture"):
+            raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
+        payloads = list(payloads)
+        ids = self._job_ids(payloads, job_ids)
+
+        start = time.perf_counter()
+        if self.n_workers == 1 or len(payloads) <= 1:
+            result = self._map_serial(fn, payloads, ids)
+        else:
+            result = self._map_process_pool(fn, payloads, ids)
+        result.wall_time = time.perf_counter() - start
+
+        if result.failures and on_error == "raise":
+            raise BatchError(result.failures)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # backends
+    # ------------------------------------------------------------------ #
+    def _map_serial(self, fn, payloads, ids) -> BatchResult:
+        values: List[Any] = []
+        failures: List[JobFailure] = []
+        for index, payload in enumerate(payloads):
+            try:
+                values.append(fn(payload))
+            except Exception as exc:
+                values.append(None)
+                failures.append(
+                    JobFailure(
+                        index=index,
+                        job_id=ids[index],
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback_text=traceback.format_exc(),
+                    )
+                )
+        return BatchResult(values=values, failures=failures, n_workers=1, backend="serial")
+
+    def _map_process_pool(self, fn, payloads, ids) -> BatchResult:
+        chunk_size = self.chunk_size or max(1, -(-len(payloads) // (4 * self.n_workers)))
+        indexed = list(enumerate(payloads))
+        chunks = [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
+
+        values: List[Any] = [None] * len(payloads)
+        failures: List[JobFailure] = []
+        aborted = False
+
+        def harvest(chunk_results) -> None:
+            for index, tag, payload in chunk_results:
+                if tag == "ok":
+                    values[index] = payload
+                else:
+                    error_type, message, tb = payload
+                    failures.append(
+                        JobFailure(
+                            index=index,
+                            job_id=ids[index],
+                            kind="error",
+                            error_type=error_type,
+                            message=message,
+                            traceback_text=tb,
+                        )
+                    )
+
+        executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=self.mp_context)
+        try:
+            futures = [(chunk, executor.submit(_run_chunk, fn, chunk)) for chunk in chunks]
+            for chunk, future in futures:
+                if aborted:
+                    # The pool is gone; keep whatever already finished and
+                    # fail the rest without waiting.
+                    if future.cancelled():
+                        failures.extend(self._fail_chunk(chunk, ids, "cancelled"))
+                    elif future.done():
+                        exc = future.exception()
+                        if exc is None:
+                            harvest(future.result())
+                        else:
+                            failures.extend(self._fail_chunk(chunk, ids, "crash", exc))
+                    else:
+                        future.cancel()
+                        failures.extend(self._fail_chunk(chunk, ids, "cancelled"))
+                    continue
+                deadline = None if self.timeout is None else self.timeout * len(chunk)
+                try:
+                    harvest(future.result(timeout=deadline))
+                except FutureTimeoutError:
+                    failures.extend(self._fail_chunk(chunk, ids, "timeout"))
+                    self._kill_workers(executor)
+                    aborted = True
+                except BrokenProcessPool as exc:
+                    failures.extend(self._fail_chunk(chunk, ids, "crash", exc))
+                    aborted = True
+        finally:
+            executor.shutdown(wait=not aborted, cancel_futures=True)
+
+        failures.sort(key=lambda f: f.index)
+        return BatchResult(
+            values=values,
+            failures=failures,
+            n_workers=self.n_workers,
+            chunk_size=chunk_size,
+            backend="process",
+        )
+
+    # ------------------------------------------------------------------ #
+    # failure bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _job_ids(payloads, job_ids) -> List[str]:
+        if job_ids is None:
+            return [getattr(p, "job_id", f"job-{i:04d}") for i, p in enumerate(payloads)]
+        ids = list(job_ids)
+        if len(ids) != len(payloads):
+            raise ValueError(f"{len(ids)} job ids for {len(payloads)} payloads")
+        return ids
+
+    @staticmethod
+    def _fail_chunk(chunk, ids, kind, exc: Optional[BaseException] = None) -> List[JobFailure]:
+        error_type = type(exc).__name__ if exc is not None else ""
+        message = str(exc) if exc is not None else ""
+        return [
+            JobFailure(
+                index=index, job_id=ids[index], kind=kind, error_type=error_type, message=message
+            )
+            for index, _ in chunk
+        ]
+
+    @staticmethod
+    def _kill_workers(executor: ProcessPoolExecutor) -> None:
+        """Terminate worker processes after a timeout (best effort)."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass

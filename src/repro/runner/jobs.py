@@ -1,0 +1,121 @@
+"""Scheduling jobs: the picklable unit of work of the parallel runner.
+
+A :class:`ScheduleJob` fully describes one scheduler run — which
+scheduler, on which superblock, on which machine, under which
+configuration — and carries a stable, human-readable job id so batches
+can be enumerated, sharded, retried and merged deterministically.
+:func:`run_schedule_job` is the module-level worker entry point (module
+level so it pickles by reference under every multiprocessing start
+method).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import ClusteredMachine
+from repro.scheduler.cars import CarsScheduler
+from repro.scheduler.correctness import validate_schedule
+from repro.scheduler.schedule import ScheduleResult
+from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+from repro.workloads.suite import stable_block_id
+
+#: Scheduler kinds a job can request.
+SCHEDULER_KINDS = ("cars", "vcs")
+
+
+def schedule_job_id(
+    scheduler: str,
+    workload_name: str,
+    machine_name: str,
+    block_index: int,
+    block_name: str,
+) -> str:
+    """The stable id of one (scheduler, workload, machine, block) job.
+
+    Built on :func:`repro.workloads.suite.stable_block_id` — one id scheme
+    for blocks across the whole system.  Ids are pure functions of the
+    job's coordinates — independent of enumeration order, worker
+    assignment and completion order — so a parallel batch and a serial
+    batch name identical jobs identically.
+    """
+    return f"{scheduler}:{machine_name}:{stable_block_id(workload_name, block_index, block_name)}"
+
+
+@dataclass(frozen=True)
+class ScheduleJob:
+    """One scheduler run on one block of one machine."""
+
+    job_id: str
+    scheduler: str
+    block: Superblock
+    machine: ClusteredMachine
+    vcs_config: Optional[VcsConfig] = None
+    #: Validate the produced schedule inside the worker (parallelises the
+    #: correctness check along with the scheduling).
+    check_schedule: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_KINDS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of {SCHEDULER_KINDS}"
+            )
+
+
+def run_schedule_job(job: ScheduleJob) -> ScheduleResult:
+    """Execute one job; the worker entry point of schedule batches."""
+    if job.scheduler == "cars":
+        result = CarsScheduler().schedule(job.block, job.machine)
+    else:
+        scheduler = VirtualClusterScheduler(job.vcs_config or VcsConfig())
+        result = scheduler.schedule(job.block, job.machine)
+    if job.check_schedule and result.schedule is not None:
+        validate_schedule(result.schedule).raise_if_invalid()
+    return result
+
+
+def enumerate_workload_jobs(
+    workload_name: str,
+    blocks: Sequence[Superblock],
+    machine: ClusteredMachine,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
+) -> List[ScheduleJob]:
+    """Enumerate the jobs of one workload on one machine, in the canonical
+    order: blocks in position order, ``schedulers`` order within a block.
+
+    The canonical order is the contract the deterministic merge relies
+    on: results are reassembled by job list position, so any two calls
+    with the same inputs enumerate identical job lists.
+    """
+    jobs: List[ScheduleJob] = []
+    for index, block in enumerate(blocks):
+        for scheduler in schedulers:
+            jobs.append(
+                ScheduleJob(
+                    job_id=schedule_job_id(
+                        scheduler, workload_name, machine.name, index, block.name
+                    ),
+                    scheduler=scheduler,
+                    block=block,
+                    machine=machine,
+                    vcs_config=vcs_config if scheduler == "vcs" else None,
+                    check_schedule=check_schedules,
+                )
+            )
+    return jobs
+
+
+def fingerprint_digest(fingerprints: Iterable[object]) -> str:
+    """A stable hex digest of a sequence of schedule fingerprints.
+
+    Used by ``scripts/bench_report.py`` and the CI perf-regression gate to
+    compare schedule populations byte-for-byte without storing them.
+    """
+    canonical = json.dumps(list(fingerprints), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

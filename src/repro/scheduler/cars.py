@@ -14,10 +14,9 @@ built so far.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir.depgraph import DepKind
 from repro.ir.operation import OpClass, Operation
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
@@ -72,9 +71,6 @@ class CarsScheduler:
 
         priority = self._priorities(block)
         unscheduled = set(block.op_ids)
-        graph = block.graph
-        occupancy = machine.bus.occupancy
-        bus_latency = machine.bus.latency
 
         cycle = 0
         while unscheduled:
@@ -207,7 +203,6 @@ class CarsScheduler:
             return None
         if usage.get((cycle, cluster, op.op_class), 0) >= machine.fu_count(cluster, op.op_class):
             return None
-        issue_extra = 0
         if issue.get((cycle, cluster), 0) + 1 > machine.cluster(cluster).issue_width:
             return None
 

@@ -12,9 +12,8 @@ technique and the baselines is on equal, machine-checked footing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.ir.depgraph import DepKind
 from repro.ir.operation import OpClass
 from repro.scheduler.schedule import Schedule
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.bounds.awct import awct_from_schedule_cycles
 from repro.ir.superblock import Superblock
@@ -81,6 +81,24 @@ class Schedule:
                 return comm
         return None
 
+    def fingerprint(self) -> list:
+        """A canonical, JSON-serialisable description of the schedule.
+
+        Two schedules compare equal iff their fingerprints do: the block
+        name plus sorted cycle, cluster and communication assignments.
+        Used by the parallel runner's determinism checks and the CI
+        perf-regression gate.
+        """
+        return [
+            self.block.name,
+            sorted(self.cycles.items()),
+            sorted(self.clusters.items()),
+            sorted(
+                (c.value, c.producer, c.cycle, c.src_cluster, c.dst_cluster if c.dst_cluster is not None else -1)
+                for c in self.comms
+            ),
+        ]
+
     # ------------------------------------------------------------------ #
     # presentation
     # ------------------------------------------------------------------ #
@@ -148,3 +166,18 @@ class ScheduleResult:
     @property
     def total_cycles(self) -> float:
         return self.awct * self.block.execution_count
+
+    def fingerprint(self) -> list:
+        """Canonical description of the outcome (see
+        :meth:`Schedule.fingerprint`), including the deterministic work
+        counter and the fallback flag.  ``ScheduleResult`` is the value
+        the parallel runner ships between processes; the fingerprint is
+        what its determinism guarantee is stated over."""
+        return [
+            self.scheduler,
+            self.block.name,
+            self.machine.name,
+            self.work,
+            self.fallback_used,
+            self.schedule.fingerprint() if self.schedule is not None else None,
+        ]

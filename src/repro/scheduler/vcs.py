@@ -39,7 +39,7 @@ produce byte-identical schedules, which the determinism tests assert.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bounds.awct import min_exit_cycles

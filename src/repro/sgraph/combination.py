@@ -21,10 +21,10 @@ Feasibility of a combination (Section 3.1) depends on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.ir.depgraph import DependenceGraph
-from repro.ir.operation import OpClass, Operation
+from repro.ir.operation import Operation
 from repro.machine.machine import ClusteredMachine
 
 

@@ -9,8 +9,7 @@ dynamically by the deduction process as bounds tighten.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.bounds.estart import compute_estart
 from repro.ir.superblock import Superblock

@@ -33,7 +33,7 @@ directly, so they remain usable standalone.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, MutableMapping, Optional, Set
+from typing import Any, List, MutableMapping, Optional, Set
 
 
 class _Missing:

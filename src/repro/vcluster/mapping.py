@@ -10,7 +10,7 @@ the number of physical clusters).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import networkx as nx
 

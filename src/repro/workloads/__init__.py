@@ -22,6 +22,7 @@ from repro.workloads.suite import (
     BenchmarkWorkload,
     build_benchmark,
     build_suite,
+    stable_block_id,
     train_variant,
 )
 from repro.workloads.kernels import (
@@ -44,6 +45,7 @@ __all__ = [
     "BenchmarkWorkload",
     "build_benchmark",
     "build_suite",
+    "stable_block_id",
     "train_variant",
     "fir_kernel",
     "dot_product_kernel",

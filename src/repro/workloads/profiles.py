@@ -16,8 +16,8 @@ from its hottest blocks, controlling how much a few hard blocks matter
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import List
 
 from repro.workloads.synth import GeneratorConfig
 

@@ -9,8 +9,8 @@ profiling variant used by the cross-input experiment (Figure 12).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.ir.superblock import Superblock
 from repro.workloads.profiles import BenchmarkProfile, all_profiles
@@ -43,6 +43,28 @@ class BenchmarkWorkload:
     def __iter__(self):
         return iter(self.blocks)
 
+    # ------------------------------------------------------------------ #
+    # stable identification (parallel-runner job enumeration)
+    # ------------------------------------------------------------------ #
+    def block_id(self, index: int) -> str:
+        """Stable id of one block (see :func:`stable_block_id`)."""
+        return stable_block_id(self.name, index, self.blocks[index].name)
+
+    @property
+    def block_ids(self) -> List[str]:
+        return [self.block_id(i) for i in range(len(self.blocks))]
+
+
+def stable_block_id(workload_name: str, index: int, block_name: str) -> str:
+    """The canonical id of one block of a workload: position plus the
+    generator-assigned name, e.g. ``130.li[0003]:130.li/sb_0003``.
+
+    Ids depend only on the workload definition — never on scheduling,
+    sharding or completion order — which is what makes them safe keys for
+    the parallel runner's job enumeration (``repro.runner.jobs`` builds
+    its job ids from them)."""
+    return f"{workload_name}[{index:04d}]:{block_name}"
+
 
 def build_benchmark(
     profile: BenchmarkProfile,
@@ -64,7 +86,9 @@ def build_suite(
     return [build_benchmark(p, blocks_per_benchmark) for p in chosen]
 
 
-def train_variant(workload: BenchmarkWorkload, noise: float = 0.35, seed: int = 1) -> BenchmarkWorkload:
+def train_variant(
+    workload: BenchmarkWorkload, noise: float = 0.35, seed: int = 1
+) -> BenchmarkWorkload:
     """The ``train``-input profiling variant of a workload.
 
     Exit probabilities are perturbed multiplicatively and renormalised, and

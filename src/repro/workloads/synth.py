@@ -13,8 +13,8 @@ block.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.ir.builder import SuperblockBuilder
 from repro.ir.operation import OpClass

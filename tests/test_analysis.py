@@ -20,7 +20,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.metrics import BlockComparison, evaluated_awct, speedup
 from repro.analysis.report import format_table
-from repro.machine import paper_2c_8i_1lat, paper_4c_16i_1lat
+from repro.machine import paper_2c_8i_1lat
 from repro.scheduler import CarsScheduler, VirtualClusterScheduler
 from repro.workloads import build_benchmark, profile_by_name, train_variant
 

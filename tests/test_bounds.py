@@ -1,6 +1,5 @@
 """Unit tests for estart/lstart computation, AWCT and the bound enumerator."""
 
-import math
 
 import pytest
 
@@ -162,7 +161,6 @@ class TestExitBoundEnumerator:
         enumerator = ExitBoundEnumerator(block, paper_2c_8i_1lat())
         targets = enumerator.targets(40)
         start = targets[0].exit_cycles
-        last = targets[-1].exit_cycles
         # Best-first enumeration explores relaxations of every exit, so the
         # maximum over targets exceeds the start for each exit.
         for exit_id in block.exit_ids:

@@ -19,7 +19,7 @@ from repro.workloads import (
     string_search_kernel,
 )
 
-from tests.helpers import linear_chain_block, two_exit_block, wide_block
+from tests.helpers import linear_chain_block, wide_block
 
 # The Section 5 example machine only has integer and branch units, so it is
 # exercised with the paper's running example only; the kernels (which contain

@@ -5,7 +5,6 @@ import pytest
 from repro.deduction import (
     BudgetExhausted,
     ChooseCombination,
-    Contradiction,
     DeductionProcess,
     DiscardCombination,
     ForbidCycle,
@@ -18,11 +17,10 @@ from repro.deduction import (
     WorkBudget,
 )
 from repro.deduction.rules import default_rules
-from repro.machine import example_2cluster, paper_2c_8i_1lat, paper_4c_16i_2lat
+from repro.machine import example_2cluster, paper_4c_16i_2lat
 from repro.sgraph import SchedulingGraph
 from repro.workloads import paper_figure1_block
 
-from tests.helpers import two_exit_block, wide_block
 
 
 def fresh_state(block=None, machine=None):

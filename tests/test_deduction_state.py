@@ -9,11 +9,10 @@ from repro.deduction.consequence import (
     CommCreated,
     CycleFixed,
 )
-from repro.machine import example_1cluster_fig4, example_2cluster, paper_2c_8i_1lat
+from repro.machine import example_2cluster
 from repro.sgraph import SchedulingGraph
 from repro.workloads import paper_figure1_block
 
-from tests.helpers import two_exit_block, wide_block
 
 
 def make_state(block=None, machine=None):

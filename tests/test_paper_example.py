@@ -9,7 +9,7 @@ final schedule quality relative to a list scheduler.
 
 import pytest
 
-from repro.bounds import ExitBoundEnumerator, awct, min_awct, min_exit_cycles
+from repro.bounds import ExitBoundEnumerator, awct, min_awct
 from repro.deduction import DeductionProcess, SchedulingState, SetExitDeadlines
 from repro.machine import example_1cluster_fig4, example_2cluster
 from repro.scheduler import CarsScheduler, VirtualClusterScheduler, validate_schedule

@@ -1,0 +1,252 @@
+"""Tests for the parallel batch runner (``repro.runner``).
+
+The hard invariant under test: a parallel batch is byte-identical to a
+serial one — same values, same order, same schedule fingerprints — for
+any worker count, chunk size and completion order.  Alongside it: stable
+job ids, per-job error capture, worker-crash and timeout propagation,
+and ``REPRO_JOBS`` environment handling.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.experiments import run_workload
+from repro.machine import paper_2c_8i_1lat, paper_4c_16i_1lat
+from repro.runner import (
+    BatchError,
+    BatchScheduler,
+    ScheduleJob,
+    enumerate_workload_jobs,
+    fingerprint_digest,
+    resolve_jobs,
+    run_schedule_job,
+    schedule_job_id,
+)
+from repro.scheduler import VcsConfig
+from repro.workloads import all_kernels, build_benchmark, profile_by_name, stable_block_id
+from repro.workloads.synth import GeneratorConfig, SuperblockGenerator
+
+
+# --------------------------------------------------------------------------- #
+# worker functions (module level so they pickle by reference)
+# --------------------------------------------------------------------------- #
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_multiples_of_three(x):
+    if x % 3 == 0:
+        raise ValueError(f"refusing {x}")
+    return x + 100
+
+
+def _sleep_long(x):
+    time.sleep(60)
+    return x
+
+
+def _exit_hard(x):
+    os._exit(3)
+
+
+# --------------------------------------------------------------------------- #
+# REPRO_JOBS / worker-count resolution
+# --------------------------------------------------------------------------- #
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        assert BatchScheduler().n_workers == 1
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert BatchScheduler().n_workers == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(2) == 2
+        assert BatchScheduler(jobs=2).n_workers == 2
+
+    def test_auto_and_nonpositive_use_cpu_count(self, monkeypatch):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs(0) == expected
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs() == expected
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+        with pytest.raises(ValueError):
+            BatchScheduler(chunk_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler().map(_double, [1], on_error="explode")
+
+
+# --------------------------------------------------------------------------- #
+# deterministic merge
+# --------------------------------------------------------------------------- #
+class TestDeterministicMerge:
+    def test_order_preserved_across_chunking(self):
+        values = list(range(23))
+        serial = BatchScheduler(jobs=1).map(_double, values)
+        for chunk_size in (1, 3, 50):
+            parallel = BatchScheduler(jobs=2, chunk_size=chunk_size).map(_double, values)
+            assert parallel.values == serial.values == [2 * v for v in values]
+            assert parallel.backend == "process"
+        assert serial.backend == "serial"
+
+    def test_single_job_short_circuits_to_serial(self):
+        result = BatchScheduler(jobs=4).map(_double, [21])
+        assert result.values == [42]
+        assert result.backend == "serial"
+
+
+# --------------------------------------------------------------------------- #
+# parallel-vs-serial equality on real scheduling jobs
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def mixed_blocks():
+    """The paper kernels plus seeded synthetic blocks."""
+    gen = SuperblockGenerator(GeneratorConfig(min_ops=10, max_ops=20), seed=3)
+    return list(all_kernels().values()) + gen.generate_many("runner-synth", 2)
+
+
+class TestParallelEqualsSerial:
+    def test_kernels_and_synthetic_blocks(self, mixed_blocks):
+        machine = paper_2c_8i_1lat()
+        jobs = enumerate_workload_jobs(
+            "runner-test",
+            mixed_blocks,
+            machine,
+            vcs_config=VcsConfig(work_budget=20_000),
+        )
+        serial = BatchScheduler(jobs=1).map(run_schedule_job, jobs)
+        parallel = BatchScheduler(jobs=2, chunk_size=3).map(run_schedule_job, jobs)
+
+        assert serial.ok and parallel.ok
+        for s, p in zip(serial.values, parallel.values):
+            assert s.fingerprint() == p.fingerprint()
+            assert s.work == p.work
+            assert s.ok == p.ok
+            if s.ok:
+                assert s.awct == p.awct
+        assert fingerprint_digest(v.fingerprint() for v in serial.values) == fingerprint_digest(
+            v.fingerprint() for v in parallel.values
+        )
+
+    def test_run_workload_through_parallel_runner(self):
+        workload = build_benchmark(profile_by_name("130.li").scaled(3))
+        machine = paper_4c_16i_1lat()
+        serial = run_workload(workload, machine, work_budget=20_000, runner=BatchScheduler(jobs=1))
+        parallel = run_workload(
+            workload, machine, work_budget=20_000, runner=BatchScheduler(jobs=3)
+        )
+        assert serial.fingerprints() == parallel.fingerprints()
+        assert [r.awct for r in serial.proposed_results] == [
+            r.awct for r in parallel.proposed_results
+        ]
+        assert serial.comparison().speedup == parallel.comparison().speedup
+
+
+# --------------------------------------------------------------------------- #
+# job enumeration and stable ids
+# --------------------------------------------------------------------------- #
+class TestJobEnumeration:
+    def test_ids_are_stable_and_self_describing(self, mixed_blocks):
+        machine = paper_2c_8i_1lat()
+        first = enumerate_workload_jobs("w", mixed_blocks, machine)
+        second = enumerate_workload_jobs("w", mixed_blocks, machine)
+        assert [j.job_id for j in first] == [j.job_id for j in second]
+        # Canonical order: blocks in position order, cars before vcs.
+        assert first[0].scheduler == "cars" and first[1].scheduler == "vcs"
+        assert first[0].job_id == schedule_job_id(
+            "cars", "w", machine.name, 0, mixed_blocks[0].name
+        )
+        assert len(first) == 2 * len(mixed_blocks)
+        assert len({j.job_id for j in first}) == len(first)
+
+    def test_workload_block_ids(self):
+        workload = build_benchmark(profile_by_name("130.li").scaled(2))
+        assert workload.block_ids == [workload.block_id(0), workload.block_id(1)]
+        assert workload.block_id(1).startswith("130.li[0001]:")
+        # One id scheme across the system: job ids embed the block id.
+        block_id = stable_block_id("130.li", 1, workload.blocks[1].name)
+        assert workload.block_id(1) == block_id
+        job_id = schedule_job_id("vcs", "130.li", "m", 1, workload.blocks[1].name)
+        assert job_id == f"vcs:m:{block_id}"
+
+    def test_unknown_scheduler_rejected(self, mixed_blocks):
+        with pytest.raises(ValueError):
+            ScheduleJob(
+                job_id="x",
+                scheduler="llvm",
+                block=mixed_blocks[0],
+                machine=paper_2c_8i_1lat(),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# failure propagation
+# --------------------------------------------------------------------------- #
+class TestFailurePropagation:
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "process"])
+    def test_job_error_capture(self, jobs):
+        values = list(range(7))
+        result = BatchScheduler(jobs=jobs, chunk_size=2).map(
+            _fail_on_multiples_of_three, values, on_error="capture"
+        )
+        assert [f.index for f in result.failures] == [0, 3, 6]
+        for failure in result.failures:
+            assert failure.kind == "error"
+            assert failure.error_type == "ValueError"
+            assert "refusing" in failure.message
+            assert "ValueError" in failure.traceback_text
+        assert [v for v in result.values if v is not None] == [101, 102, 104, 105]
+
+    @pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "process"])
+    def test_job_error_raises_batch_error(self, jobs):
+        with pytest.raises(BatchError) as excinfo:
+            BatchScheduler(jobs=jobs).map(_fail_on_multiples_of_three, [3])
+        assert excinfo.value.failures[0].error_type == "ValueError"
+        assert "refusing 3" in str(excinfo.value)
+
+    def test_worker_crash_propagates(self):
+        result = BatchScheduler(jobs=2, chunk_size=1).map(
+            _exit_hard, [1, 2, 3, 4], on_error="capture"
+        )
+        assert len(result.failures) == 4
+        assert all(v is None for v in result.values)
+        assert any(f.kind == "crash" for f in result.failures)
+        with pytest.raises(BatchError):
+            BatchScheduler(jobs=2, chunk_size=1).map(_exit_hard, [1, 2])
+
+    def test_timeout_tears_the_pool_down(self):
+        start = time.perf_counter()
+        result = BatchScheduler(jobs=2, chunk_size=1, timeout=0.5).map(
+            _sleep_long, [1, 2, 3], on_error="capture"
+        )
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30, "timeout did not preempt the sleeping workers"
+        assert len(result.failures) == 3
+        kinds = {f.kind for f in result.failures}
+        assert "timeout" in kinds
+        assert kinds <= {"timeout", "cancelled", "crash"}
+
+    def test_mismatched_job_ids_rejected(self):
+        with pytest.raises(ValueError):
+            BatchScheduler().map(_double, [1, 2], job_ids=["only-one"])
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint digests
+# --------------------------------------------------------------------------- #
+class TestFingerprintDigest:
+    def test_digest_is_stable_and_discriminating(self):
+        a = [["b", [[0, 1]], [[0, 0]], []]]
+        assert fingerprint_digest(a) == fingerprint_digest(list(a))
+        assert fingerprint_digest(a) != fingerprint_digest(a + a)
+        assert len(fingerprint_digest(a)) == 64

@@ -2,16 +2,14 @@
 
 import pytest
 
-from repro.machine import example_2cluster, paper_2c_8i_1lat, paper_4c_16i_2lat, unified
+from repro.machine import example_2cluster, paper_2c_8i_1lat, paper_4c_16i_2lat
 from repro.scheduler import (
-    CarsScheduler,
     Schedule,
     ScheduledComm,
     ScheduleError,
     ScheduleResult,
     validate_schedule,
 )
-from repro.workloads import paper_figure1_block
 
 from tests.helpers import linear_chain_block, two_exit_block
 

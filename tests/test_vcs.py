@@ -19,7 +19,7 @@ from repro.workloads import (
     string_search_kernel,
 )
 
-from tests.helpers import linear_chain_block, two_exit_block, wide_block
+from tests.helpers import linear_chain_block
 
 # See test_cars.py: the reduced example machine cannot execute memory or
 # floating-point operations, so the kernel sweep uses the paper machines.
