@@ -13,6 +13,11 @@ mode (trail vs legacy copy):
 * a SHA-256 digest of every produced schedule (the byte-identity key the
   CI perf-regression gate compares).
 
+A registry sweep additionally runs every scheduler backend
+(``cars``/``vcs``/``list``/``hybrid``) over the same workload and records
+per-backend ``dp_work`` and schedule digests (gated) plus the VCS
+pipeline's per-decision-stage wall-time breakdown (reported only).
+
 The trail-mode workload is run twice through the parallel batch runner
 (``repro.runner``): once serially and once with ``--jobs`` workers, so
 the report also records the sharded runner's wall-time throughput and
@@ -198,6 +203,54 @@ def export_revision(rev: str) -> tempfile.TemporaryDirectory:
     return tmp
 
 
+def measure_backends(n_synth: int) -> dict:
+    """Serial sweep of every registered scheduler backend over the bench
+    workload (current tree only — old revisions predate the registry).
+
+    Returns, per backend and machine, the deterministic ``dp_work`` and a
+    SHA-256 digest of every :class:`ScheduleResult` fingerprint (gated by
+    the CI perf-regression gate), the wall time (reported, not gated),
+    and — for the VCS pipeline — aggregated per-decision-stage call
+    counts and wall times."""
+    from repro.machine import paper_configurations
+    from repro.runner import fingerprint_digest
+    from repro.scheduler import available_backends, create
+
+    # build_workload is shared with the DRIVER for workload parity.
+    namespace: dict = {"__name__": "bench_driver"}
+    exec(compile(DRIVER, "<driver>", "exec"), namespace)
+    blocks = namespace["build_workload"](n_synth)
+
+    backends: dict = {}
+    for name in available_backends():
+        backend = create(name)
+        per_machine = []
+        stage_totals: dict = {}
+        for machine in paper_configurations():
+            t0 = time.perf_counter()
+            results = [backend.schedule(block, machine) for block in blocks]
+            wall = time.perf_counter() - t0
+            for result in results:
+                for stage, entry in result.stage_timings.items():
+                    slot = stage_totals.setdefault(stage, {"calls": 0, "wall_time_s": 0.0})
+                    slot["calls"] += entry["calls"]
+                    slot["wall_time_s"] += entry["wall_time_s"]
+            per_machine.append(
+                {
+                    "machine": machine.name,
+                    "wall_time_s": wall,
+                    "dp_work": sum(r.work for r in results),
+                    "schedule_digest": fingerprint_digest(r.fingerprint() for r in results),
+                    "fallback_blocks": sum(1 for r in results if r.fallback_used),
+                }
+            )
+        entry = {"machines": per_machine}
+        if stage_totals:
+            entry["stage_timings"] = stage_totals
+        backends[name] = entry
+    return backends
+
+
 def digest_fingerprints(report: dict) -> dict:
     """Replace each machine's raw fingerprint list with its SHA-256 digest.
 
@@ -250,6 +303,8 @@ def main() -> int:
     parallel = run_driver(src, "trail", args.blocks, jobs=jobs)
     print("[bench] current tree, copy mode...")
     copy = run_driver(src, "copy", args.blocks, jobs=1)
+    print("[bench] current tree, backend sweep (registry)...")
+    backends = measure_backends(args.blocks)
 
     baseline = None
     baseline_identical = None
@@ -300,6 +355,7 @@ def main() -> int:
             ),
             "schedules_identical_serial_vs_parallel": parallel_identical,
         },
+        "backends": backends,
     }
     if baseline is not None:
         base_wall = total_wall(baseline)
@@ -330,6 +386,17 @@ def main() -> int:
         m["stats"].get("copies_avoided", 0) for m in trail["machines"]
     )
     print(f"[bench] copies avoided by the trail: {copies_avoided}")
+    for name, entry in backends.items():
+        wall = sum(m["wall_time_s"] for m in entry["machines"])
+        work = sum(m["dp_work"] for m in entry["machines"])
+        print(f"[bench] backend {name:8s} wall {wall:.2f}s | dp_work {work}")
+    vcs_stages = backends.get("vcs", {}).get("stage_timings", {})
+    if vcs_stages:
+        breakdown = " | ".join(
+            f"{stage} {entry['wall_time_s']:.2f}s/{entry['calls']}"
+            for stage, entry in vcs_stages.items()
+        )
+        print(f"[bench] vcs stage timing: {breakdown}")
     return 0
 
 

@@ -10,10 +10,15 @@ Gated (the job fails on any mismatch):
   effort) and ``schedule_digest`` (SHA-256 over every produced schedule)
   — together they detect both silent behaviour changes and schedule
   regressions;
+* per scheduler backend (``cars``/``vcs``/``list``/``hybrid``) and
+  machine: ``dp_work`` and ``schedule_digest`` of the registry sweep —
+  a behaviour change in *any* backend fails the gate, not just the
+  default pair;
 * the fresh report's serial-vs-parallel identity flag — the parallel
   runner must not change any schedule.
 
-Reported but NOT gated: wall times and throughput (host dependent).
+Reported but NOT gated: wall times, throughput and the per-decision-stage
+timing breakdown (host dependent).
 
 Usage::
 
@@ -81,6 +86,51 @@ def main() -> int:
                         f"[gate] {mode:5s} / {name}: wall {old_wall:.2f}s -> {new_wall:.2f}s "
                         f"({new_wall / old_wall:.2f}x, not gated)"
                     )
+
+    # The backend sweep shares the workload definition; without
+    # comparability the per-backend diffs would only bury the real error.
+    comparable = committed.get("workload") == fresh.get("workload")
+    old_backends = committed.get("backends") if comparable else None
+    new_backends = fresh.get("backends") if comparable else None
+    if not comparable:
+        print("[gate] workload definitions differ; skipping backend gate")
+    elif old_backends is None:
+        # Only the committed report may legitimately predate the registry;
+        # a fresh report must always carry the sweep (gated below).
+        print("[gate] committed report predates the backend sweep; skipping backend gate")
+    elif new_backends is None:
+        errors.append(
+            "fresh report is missing the 'backends' sweep the committed report has "
+            "(bench_report.py no longer measuring the registry backends?)"
+        )
+    elif set(old_backends) != set(new_backends):
+        errors.append(
+            f"backend sets differ: {sorted(old_backends)} vs {sorted(new_backends)}"
+        )
+    else:
+        for backend in sorted(old_backends):
+            old_rows = {m["machine"]: m for m in old_backends[backend].get("machines", [])}
+            new_rows = {m["machine"]: m for m in new_backends[backend].get("machines", [])}
+            if set(old_rows) != set(new_rows):
+                errors.append(
+                    f"backend {backend}: machine sets differ: "
+                    f"{sorted(old_rows)} vs {sorted(new_rows)}"
+                )
+                continue
+            for name in old_rows:
+                old, new = old_rows[name], new_rows[name]
+                for key in ("dp_work", "schedule_digest"):
+                    if old.get(key) != new.get(key):
+                        errors.append(
+                            f"backend {backend} / {name}: {key} changed: "
+                            f"{old.get(key)!r} -> {new.get(key)!r}"
+                        )
+        stage_timings = new_backends.get("vcs", {}).get("stage_timings", {})
+        for stage, entry in stage_timings.items():
+            print(
+                f"[gate] vcs stage {stage}: {entry.get('wall_time_s', 0):.2f}s "
+                f"over {entry.get('calls', 0)} calls (not gated)"
+            )
 
     runner = fresh.get("parallel", {})
     if runner.get("schedules_identical_serial_vs_parallel") is not True:

@@ -28,6 +28,7 @@ import json
 import os
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -36,15 +37,31 @@ if not any((Path(p) / "repro").is_dir() for p in sys.path if p):
 
 from repro.analysis import EffortThresholds, format_compile_time_table, format_speedup_series
 from repro.analysis.experiments import (
+    backend_comparisons,
+    run_backend_records,
     run_compile_time_experiment,
     run_cross_input_experiment,
     run_speedup_records,
 )
 from repro.machine import paper_configurations
 from repro.runner import BatchScheduler, fingerprint_digest
+from repro.scheduler import (
+    BackendSpec,
+    UnknownStageError,
+    VcsConfig,
+    available_backends,
+    available_stages,
+    backend_info,
+    resolve_stage_order,
+)
+from repro.scheduler.registry import SCHEDULER_ENV_VAR, VCS_ENV_PREFIX
 from repro.workloads import all_profiles, build_suite, profile_by_name
 
-EXPERIMENTS = ("speedup", "compile-time", "cross-input")
+EXPERIMENTS = ("speedup", "compile-time", "cross-input", "backends")
+#: Backends swept by the ``backends`` experiment: everything registered,
+#: with the CARS baseline first (same source of truth as --list-schedulers,
+#: so newly registered backends join the sweep automatically).
+BACKEND_SWEEP = ("cars",) + tuple(b for b in available_backends() if b != "cars")
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -54,6 +71,29 @@ def parse_args(argv=None) -> argparse.Namespace:
         choices=EXPERIMENTS + ("all",),
         default="speedup",
         help="which evaluation to run (default: speedup)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        metavar="NAME",
+        help="proposed-side scheduler backend (see --list-schedulers; "
+        "default: $REPRO_SCHEDULER or vcs)",
+    )
+    parser.add_argument(
+        "--stages",
+        metavar="NAME[,NAME...]",
+        help="explicit decision-stage order for VCS-derived backends "
+        "(names from the stage pipeline; extraction is appended when omitted)",
+    )
+    parser.add_argument(
+        "--list-schedulers",
+        action="store_true",
+        help="list the registered scheduler backends and exit",
+    )
+    parser.add_argument(
+        "--list-machines",
+        action="store_true",
+        help="list the known machine configurations and exit",
     )
     parser.add_argument(
         "--suite",
@@ -82,8 +122,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--budget",
         type=int,
-        default=60_000,
-        help="deduction-work budget per block (default: 60000)",
+        default=None,
+        help="deduction-work budget per block "
+        "(default: $REPRO_VCS_WORK_BUDGET or 60000)",
     )
     parser.add_argument(
         "--jobs",
@@ -109,7 +150,12 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def select_profiles(args: argparse.Namespace):
     if args.benchmarks:
-        return [profile_by_name(name) for name in args.benchmarks]
+        try:
+            return [profile_by_name(name) for name in args.benchmarks]
+        except KeyError as exc:
+            # profile_by_name raises KeyError with a full message already.
+            known = sorted(p.name for p in all_profiles())
+            raise SystemExit(f"{exc.args[0]}; known: {known}") from None
     profiles = all_profiles()
     if args.suite != "all":
         profiles = [p for p in profiles if p.suite == args.suite]
@@ -125,6 +171,62 @@ def select_machines(args: argparse.Namespace):
         return [by_name[name] for name in args.machines]
     except KeyError as exc:
         raise SystemExit(f"unknown machine {exc.args[0]!r}; known: {sorted(by_name)}") from None
+
+
+def select_scheduler(args: argparse.Namespace) -> str:
+    """The proposed-side backend: ``--scheduler`` wins over the
+    ``REPRO_SCHEDULER`` environment override; validated against the
+    registry (non-zero exit on unknown names)."""
+    name = args.scheduler or os.environ.get(SCHEDULER_ENV_VAR) or "vcs"
+    if name not in available_backends():
+        raise SystemExit(
+            f"unknown scheduler {name!r}; known: {available_backends()} "
+            "(see --list-schedulers)"
+        )
+    return name
+
+
+def build_vcs_config(args: argparse.Namespace) -> VcsConfig:
+    """The VCS knobs shared by every VCS-derived backend of the run:
+    ``REPRO_VCS_<FIELD>`` environment overrides first, then the explicit
+    ``--stages`` flag on top.  Only the VCS fields are read here — the
+    backend name is :func:`select_scheduler`'s business, so a stale
+    ``REPRO_SCHEDULER`` cannot abort a run that picked a valid
+    ``--scheduler`` explicitly."""
+    vcs_env = {
+        key: value for key, value in os.environ.items() if key.startswith(VCS_ENV_PREFIX)
+    }
+    try:
+        config = BackendSpec.from_env(env=vcs_env).vcs or VcsConfig()
+        if args.stages:
+            names = tuple(name.strip() for name in args.stages.split(",") if name.strip())
+            config = replace(config, stage_order=names)
+        # Resolve once so a bad order fails before any scheduling happens.
+        resolve_stage_order(config)
+    except (UnknownStageError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    return config
+
+
+def list_schedulers() -> int:
+    print("registered scheduler backends:")
+    for name in available_backends():
+        info = backend_info(name)
+        knobs = " [takes --stages and VCS knobs]" if info.uses_vcs_config else ""
+        print(f"  {name:8s} {info.description}{knobs}")
+    print(f"\ndecision stages (VCS pipeline order): {', '.join(available_stages())}")
+    return 0
+
+
+def list_machines() -> int:
+    print("known machine configurations:")
+    for machine in paper_configurations():
+        print(
+            f"  {machine.name:16s} {machine.n_clusters} clusters, "
+            f"bus latency {machine.bus.latency}"
+            f"{'' if machine.bus.pipelined else ' (non-pipelined)'}"
+        )
+    return 0
 
 
 def comparison_row(comparison) -> dict:
@@ -152,6 +254,20 @@ def effort_row(stats, thresholds: EffortThresholds) -> dict:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.list_schedulers:
+        return list_schedulers()
+    if args.list_machines:
+        return list_machines()
+    scheduler = select_scheduler(args)
+    vcs_config = build_vcs_config(args)
+    # Explicit --budget wins over the REPRO_VCS_WORK_BUDGET override the
+    # config layer read from the environment.
+    if args.budget is not None:
+        budget = args.budget
+    elif vcs_config.work_budget is not None:
+        budget = vcs_config.work_budget
+    else:
+        budget = 60_000
     profiles = select_profiles(args)
     machines = select_machines(args)
     runner = BatchScheduler(jobs=args.jobs, chunk_size=args.chunk_size, timeout=args.timeout)
@@ -159,11 +275,19 @@ def main(argv=None) -> int:
 
     suite = build_suite(profiles, blocks_per_benchmark=args.blocks)
     n_blocks = sum(w.n_blocks for w in suite)
+    # Jobs per (block, machine): the backend sweep schedules every
+    # registered backend, the figure experiments a (baseline, proposed) pair.
+    def experiment_jobs(name: str) -> int:
+        per_block = len(BACKEND_SWEEP) if name == "backends" else 2
+        return per_block * n_blocks * len(machines)
+
+    total_jobs = sum(experiment_jobs(name) for name in experiments)
     if not args.quiet:
         print(
             f"[suite] {len(suite)} benchmarks x {args.blocks} blocks x "
-            f"{len(machines)} machines ({2 * n_blocks * len(machines)} jobs per experiment) "
-            f"on {runner.n_workers} worker(s)"
+            f"{len(machines)} machines ({total_jobs} jobs over "
+            f"{len(experiments)} experiment(s)) "
+            f"on {runner.n_workers} worker(s), proposed backend {scheduler!r}"
         )
 
     results: dict = {
@@ -171,13 +295,22 @@ def main(argv=None) -> int:
             "benchmarks": [p.name for p in profiles],
             "blocks_per_benchmark": args.blocks,
             "machines": [m.name for m in machines],
-            "work_budget": args.budget,
+            "work_budget": budget,
+            "scheduler": scheduler,
+            "stage_order": list(resolve_stage_order(vcs_config)),
         },
     }
     t0 = time.perf_counter()
 
     if "speedup" in experiments:
-        grouped = run_speedup_records(suite, machines, work_budget=args.budget, runner=runner)
+        grouped = run_speedup_records(
+            suite,
+            machines,
+            work_budget=budget,
+            vcs_config=vcs_config,
+            runner=runner,
+            schedulers=("cars", scheduler),
+        )
         results["speedup"] = {
             machine.name: [record.comparison() for record in grouped[machine.name]]
             for machine in machines
@@ -204,13 +337,68 @@ def main(argv=None) -> int:
             name: [comparison_row(c) for c in rows] for name, rows in results["speedup"].items()
         }
 
+    if "backends" in experiments:
+        backend_records = run_backend_records(
+            suite,
+            machines,
+            BACKEND_SWEEP,
+            work_budget=budget,
+            vcs_config=vcs_config,
+            runner=runner,
+        )
+        rows = [
+            {
+                "backend": record.backend,
+                "benchmark": record.workload.name,
+                "machine": record.machine.name,
+                "total_work": record.total_work,
+                "total_cycles": sum(r.total_cycles for r in record.results if r.ok),
+                "fallback_blocks": sum(1 for r in record.results if r.fallback_used),
+            }
+            for record in backend_records
+        ]
+        digests = {
+            backend: fingerprint_digest(
+                fp
+                for record in backend_records
+                if record.backend == backend
+                for fp in record.fingerprints()
+            )
+            for backend in BACKEND_SWEEP
+        }
+        grouped = backend_comparisons(backend_records, baseline="cars")
+        results["backends"] = {
+            "rows": rows,
+            "schedule_digests": digests,
+            "speedup_vs_cars": {
+                machine_name: {
+                    backend: [comparison_row(c) for c in comparisons]
+                    for backend, comparisons in by_backend.items()
+                }
+                for machine_name, by_backend in grouped.items()
+            },
+        }
+        if not args.quiet:
+            for machine in machines:
+                print(f"\n=== backend comparison vs CARS | {machine.name} ===")
+                for backend, comparisons in grouped[machine.name].items():
+                    print(f"-- {backend} --")
+                    print(format_speedup_series(comparisons))
+
     if "compile-time" in experiments:
         thresholds = EffortThresholds(
-            small=max(args.budget // 30, 500),
-            medium=max(args.budget // 4, 2000),
-            large=args.budget,
+            small=max(budget // 30, 500),
+            medium=max(budget // 4, 2000),
+            large=budget,
         )
-        stats = run_compile_time_experiment(suite, machines, thresholds, runner=runner)
+        stats = run_compile_time_experiment(
+            suite,
+            machines,
+            thresholds,
+            runner=runner,
+            vcs_config=vcs_config,
+            schedulers=("cars", scheduler),
+        )
         if not args.quiet:
             print("\n=== compile-effort distribution ===")
             print(format_compile_time_table(stats, thresholds))
@@ -221,7 +409,12 @@ def main(argv=None) -> int:
 
     if "cross-input" in experiments:
         grouped = run_cross_input_experiment(
-            suite, machines, work_budget=args.budget, runner=runner
+            suite,
+            machines,
+            work_budget=budget,
+            runner=runner,
+            vcs_config=vcs_config,
+            schedulers=("cars", scheduler),
         )
         if not args.quiet:
             for machine in machines:
@@ -243,7 +436,7 @@ def main(argv=None) -> int:
         "results": results,
     }
     if not args.quiet:
-        per_sec = (2 * n_blocks * len(machines) * len(experiments)) / wall if wall > 0 else 0.0
+        per_sec = total_jobs / wall if wall > 0 else 0.0
         print(
             f"\n[suite] wall time {wall:.2f}s "
             f"({per_sec:.1f} schedules/s, {runner.n_workers} worker(s))"

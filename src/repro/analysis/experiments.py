@@ -11,6 +11,13 @@ of an experiment is enumerated up front as one flat job list, sharded
 across worker processes, and merged back in enumeration order — so the
 records an experiment returns are byte-identical whether it ran serially
 (the ``REPRO_JOBS=1`` default) or on every core of the machine.
+
+Schedulers are selected by registry name (:mod:`repro.scheduler.registry`),
+so the same drivers compare any baseline/proposed backend pair
+(``run_workload(..., schedulers=("cars", "hybrid"))``), and
+:func:`run_backend_records` / :func:`run_backend_comparison` sweep an
+arbitrary backend list as one flat batch — the Figure 11-style
+backend-vs-backend experiment.
 """
 
 from __future__ import annotations
@@ -25,7 +32,12 @@ from repro.analysis.metrics import (
     evaluate_benchmark,
 )
 from repro.machine.machine import ClusteredMachine
-from repro.runner import BatchScheduler, enumerate_workload_jobs, run_schedule_job
+from repro.runner import (
+    SCHEDULER_KINDS,
+    BatchScheduler,
+    enumerate_workload_jobs,
+    run_schedule_job,
+)
 from repro.scheduler.schedule import ScheduleResult
 from repro.scheduler.vcs import VcsConfig
 from repro.workloads.suite import BenchmarkWorkload, train_variant
@@ -89,15 +101,24 @@ def run_experiment_records(
     check_schedules: bool = True,
     scheduling_blocks: Optional[Dict[str, Sequence]] = None,
     runner: Optional[BatchScheduler] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> List[ExperimentRecord]:
     """Schedule every block of every ``(workload, machine)`` pair as one
     flat batch and regroup the results into per-pair records.
 
+    ``schedulers`` is the (baseline, proposed) backend-name pair —
+    ``("cars", "vcs")`` by default, any two registered backends otherwise
+    (``run_suite.py --scheduler hybrid`` passes ``("cars", "hybrid")``).
     ``scheduling_blocks`` optionally maps a workload name to different
     blocks (same DGs, different profiles) to *schedule*, while the
     workload's own blocks are what the caller will later *evaluate*
     against — the Figure 12 setup.
     """
+    schedulers = tuple(schedulers)
+    if len(schedulers) != 2:
+        raise ValueError(
+            f"expected a (baseline, proposed) backend pair, got {schedulers!r}"
+        )
     config = _effective_config(vcs_config, work_budget)
     jobs = []
     specs: List[_RecordSpec] = []
@@ -111,6 +132,7 @@ def run_experiment_records(
             machine,
             vcs_config=config,
             check_schedules=check_schedules,
+            schedulers=schedulers,
         )
         specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
         jobs.extend(pair_jobs)
@@ -120,7 +142,7 @@ def run_experiment_records(
     records: List[ExperimentRecord] = []
     for spec in specs:
         record = ExperimentRecord(workload=spec.workload, machine=spec.machine)
-        # Jobs come in (cars, vcs) pairs per block, in block order.
+        # Jobs come in (baseline, proposed) pairs per block, in block order.
         for i in range(spec.offset, spec.offset + spec.n_jobs, 2):
             record.baseline_results.append(batch.values[i])
             record.proposed_results.append(batch.values[i + 1])
@@ -136,9 +158,10 @@ def run_workload(
     check_schedules: bool = True,
     scheduling_blocks: Optional[Sequence] = None,
     runner: Optional[BatchScheduler] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> ExperimentRecord:
-    """Schedule every block of *workload* with CARS and with the proposed
-    technique.
+    """Schedule every block of *workload* with the baseline and the
+    proposed backend (CARS and VCS by default).
 
     ``scheduling_blocks`` optionally provides different blocks (same DGs,
     different profiles) to *schedule*, while the workload's own blocks are
@@ -154,6 +177,7 @@ def run_workload(
         check_schedules=check_schedules,
         scheduling_blocks=overrides,
         runner=runner,
+        schedulers=schedulers,
     )[0]
 
 
@@ -163,11 +187,16 @@ def run_speedup_records(
     work_budget: Optional[int] = None,
     vcs_config: Optional[VcsConfig] = None,
     runner: Optional[BatchScheduler] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> Dict[str, List[ExperimentRecord]]:
     """The raw records behind Figure 11, grouped by machine name."""
     pairs = [(workload, machine) for machine in machines for workload in workloads]
     records = run_experiment_records(
-        pairs, work_budget=work_budget, vcs_config=vcs_config, runner=runner
+        pairs,
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        runner=runner,
+        schedulers=schedulers,
     )
     grouped: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
     for record in records:
@@ -181,12 +210,18 @@ def run_speedup_experiment(
     work_budget: Optional[int] = None,
     vcs_config: Optional[VcsConfig] = None,
     runner: Optional[BatchScheduler] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> Dict[str, List[BenchmarkComparison]]:
-    """Figure 11: per-benchmark speed-up of the proposed technique over CARS
-    for every machine configuration.  Returns comparisons grouped by machine
-    name."""
+    """Figure 11: per-benchmark speed-up of the proposed backend over the
+    baseline backend (VCS over CARS by default) for every machine
+    configuration.  Returns comparisons grouped by machine name."""
     grouped = run_speedup_records(
-        workloads, machines, work_budget=work_budget, vcs_config=vcs_config, runner=runner
+        workloads,
+        machines,
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        runner=runner,
+        schedulers=schedulers,
     )
     return {
         machine_name: [record.comparison() for record in records]
@@ -194,30 +229,193 @@ def run_speedup_experiment(
     }
 
 
+# --------------------------------------------------------------------------- #
+# backend-vs-backend sweeps (the registry-driven Figure 11 generalisation)
+# --------------------------------------------------------------------------- #
+@dataclass
+class BackendRecord:
+    """All of one backend's results on one (workload, machine) pair."""
+
+    workload: BenchmarkWorkload
+    machine: ClusteredMachine
+    backend: str
+    results: List[ScheduleResult] = field(default_factory=list)
+
+    def fingerprints(self) -> List[list]:
+        return [result.fingerprint() for result in self.results]
+
+    @property
+    def total_work(self) -> int:
+        return sum(result.work for result in self.results)
+
+
+def run_backend_records(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    backends: Sequence[str],
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+    runner: Optional[BatchScheduler] = None,
+) -> List[BackendRecord]:
+    """Schedule every block of every workload on every machine with every
+    backend in *backends*, as one flat batch.
+
+    Returns one record per (machine, workload, backend), machines outer,
+    ``backends`` order innermost — matching the canonical job enumeration
+    (blocks in position order, backends within a block), so a parallel
+    run is byte-identical to a serial one like every other driver."""
+    backends = tuple(backends)
+    if not backends:
+        raise ValueError("need at least one backend name")
+    config = _effective_config(vcs_config, work_budget)
+    jobs = []
+    specs: List[_RecordSpec] = []
+    for machine in machines:
+        for workload in workloads:
+            pair_jobs = enumerate_workload_jobs(
+                workload.name,
+                workload.blocks,
+                machine,
+                vcs_config=config,
+                check_schedules=check_schedules,
+                schedulers=backends,
+            )
+            specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
+            jobs.extend(pair_jobs)
+
+    batch = (runner or BatchScheduler()).map(run_schedule_job, jobs)
+
+    records: List[BackendRecord] = []
+    for spec in specs:
+        for b_index, backend in enumerate(backends):
+            record = BackendRecord(workload=spec.workload, machine=spec.machine, backend=backend)
+            for i in range(spec.offset + b_index, spec.offset + spec.n_jobs, len(backends)):
+                record.results.append(batch.values[i])
+            records.append(record)
+    return records
+
+
+def backend_comparisons(
+    records: Sequence[BackendRecord], baseline: str = "cars"
+) -> Dict[str, Dict[str, List[BenchmarkComparison]]]:
+    """Group per-backend *records* into per-benchmark comparisons of every
+    backend against *baseline*: ``{machine_name: {backend: [comparison]}}``.
+
+    Pure aggregation over records from :func:`run_backend_records` —
+    callers that already hold the records (e.g. ``run_suite.py``'s
+    ``backends`` experiment) reuse them without scheduling anything
+    again.  Machine/workload/backend order follows first appearance in
+    *records* (the canonical enumeration order)."""
+    machines: List[str] = []
+    workloads: List[str] = []
+    backends: List[str] = []
+    by_key: Dict[Tuple[str, str, str], BackendRecord] = {}
+    for record in records:
+        key = (record.machine.name, record.workload.name, record.backend)
+        by_key[key] = record
+        if record.machine.name not in machines:
+            machines.append(record.machine.name)
+        if record.workload.name not in workloads:
+            workloads.append(record.workload.name)
+        if record.backend not in backends:
+            backends.append(record.backend)
+    if baseline not in backends:
+        raise ValueError(f"baseline backend {baseline!r} not among the records' {backends}")
+    grouped: Dict[str, Dict[str, List[BenchmarkComparison]]] = {
+        machine: {b: [] for b in backends if b != baseline} for machine in machines
+    }
+    for machine in machines:
+        for workload in workloads:
+            base = by_key.get((machine, workload, baseline))
+            if base is None:
+                raise ValueError(
+                    f"missing {baseline!r} baseline record for ({machine!r}, {workload!r}); "
+                    "records must cover the full (machine, workload, backend) cross product"
+                )
+            for backend in backends:
+                if backend == baseline:
+                    continue
+                record = by_key.get((machine, workload, backend))
+                if record is None:
+                    raise ValueError(
+                        f"missing {backend!r} record for ({machine!r}, {workload!r}); "
+                        "records must cover the full (machine, workload, backend) cross product"
+                    )
+                blocks = [
+                    compare_block(base_result, result)
+                    for base_result, result in zip(base.results, record.results)
+                ]
+                grouped[machine][backend].append(
+                    evaluate_benchmark(
+                        record.workload.name, record.workload.suite, machine, blocks
+                    )
+                )
+    return grouped
+
+
+def run_backend_comparison(
+    workloads: Sequence[BenchmarkWorkload],
+    machines: Sequence[ClusteredMachine],
+    backends: Sequence[str] = ("cars", "vcs", "hybrid"),
+    baseline: str = "cars",
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    runner: Optional[BatchScheduler] = None,
+) -> Dict[str, Dict[str, List[BenchmarkComparison]]]:
+    """Figure 11 generalised to a backend dimension: per-benchmark
+    comparisons of every backend against *baseline*.
+
+    The baseline is scheduled once per (workload, machine) and reused for
+    every backend's comparison; the whole cross product runs as a single
+    batch, then aggregates through :func:`backend_comparisons`."""
+    backends = tuple(backends)
+    if baseline not in backends:
+        backends = (baseline,) + backends
+    records = run_backend_records(
+        workloads,
+        machines,
+        backends,
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        runner=runner,
+    )
+    return backend_comparisons(records, baseline=baseline)
+
+
 def run_compile_time_experiment(
     workloads: Sequence[BenchmarkWorkload],
     machines: Sequence[ClusteredMachine],
     thresholds: EffortThresholds,
     runner: Optional[BatchScheduler] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> List[CompileEffortStats]:
-    """Figure 10: compile-effort distribution of CARS and the proposed
-    technique on every machine (the proposed technique runs without a budget
-    so the full effort per block is observed)."""
+    """Figure 10: compile-effort distribution of the baseline and the
+    proposed backend on every machine (the proposed backend runs at the
+    large threshold budget so the full effort per block is observed)."""
+    baseline_name, proposed_name = tuple(schedulers)
     pairs = [(workload, machine) for machine in machines for workload in workloads]
-    records = run_experiment_records(pairs, work_budget=thresholds.large, runner=runner)
+    records = run_experiment_records(
+        pairs,
+        work_budget=thresholds.large,
+        vcs_config=vcs_config,
+        runner=runner,
+        schedulers=schedulers,
+    )
     by_machine: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
     for record in records:
         by_machine[record.machine.name].append(record)
 
     stats: List[CompileEffortStats] = []
     for machine in machines:
-        cars_results: List[ScheduleResult] = []
-        vcs_results: List[ScheduleResult] = []
+        baseline_results: List[ScheduleResult] = []
+        proposed_results: List[ScheduleResult] = []
         for record in by_machine[machine.name]:
-            cars_results.extend(record.baseline_results)
-            vcs_results.extend(record.proposed_results)
-        stats.append(collect_effort("CARS", machine.name, cars_results))
-        stats.append(collect_effort("VCS", machine.name, vcs_results))
+            baseline_results.extend(record.baseline_results)
+            proposed_results.extend(record.proposed_results)
+        stats.append(collect_effort(baseline_name.upper(), machine.name, baseline_results))
+        stats.append(collect_effort(proposed_name.upper(), machine.name, proposed_results))
     return stats
 
 
@@ -227,13 +425,15 @@ def run_cross_input_experiment(
     work_budget: Optional[int] = None,
     noise: float = 0.35,
     runner: Optional[BatchScheduler] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    schedulers: Sequence[str] = SCHEDULER_KINDS,
 ) -> Dict[str, List[BenchmarkComparison]]:
     """Figure 12: schedule with the ``train`` profile, evaluate with ``ref``.
 
-    For each workload a train variant is derived; both CARS and the proposed
-    technique schedule the train blocks, and the resulting schedules are
-    evaluated with the original (ref) exit probabilities and execution
-    counts."""
+    For each workload a train variant is derived; both the baseline and
+    the proposed backend schedule the train blocks, and the resulting
+    schedules are evaluated with the original (ref) exit probabilities
+    and execution counts."""
     # Train variants are seeded by workload name only, so deriving them
     # once up front is identical to deriving them per machine.
     train_blocks = {
@@ -241,7 +441,12 @@ def run_cross_input_experiment(
     }
     pairs = [(workload, machine) for machine in machines for workload in workloads]
     records = run_experiment_records(
-        pairs, work_budget=work_budget, scheduling_blocks=train_blocks, runner=runner
+        pairs,
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        scheduling_blocks=train_blocks,
+        runner=runner,
+        schedulers=schedulers,
     )
     grouped: Dict[str, List[BenchmarkComparison]] = {machine.name: [] for machine in machines}
     for record in records:

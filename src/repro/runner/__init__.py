@@ -29,6 +29,7 @@ from repro.runner.batch import (
     resolve_jobs,
 )
 from repro.runner.jobs import (
+    SCHEDULER_KINDS,
     ScheduleJob,
     enumerate_workload_jobs,
     fingerprint_digest,
@@ -42,6 +43,7 @@ __all__ = [
     "BatchScheduler",
     "JobFailure",
     "resolve_jobs",
+    "SCHEDULER_KINDS",
     "ScheduleJob",
     "enumerate_workload_jobs",
     "fingerprint_digest",

@@ -1,9 +1,15 @@
 """Scheduling jobs: the picklable unit of work of the parallel runner.
 
 A :class:`ScheduleJob` fully describes one scheduler run — which
-scheduler, on which superblock, on which machine, under which
-configuration — and carries a stable, human-readable job id so batches
-can be enumerated, sharded, retried and merged deterministically.
+scheduler backend (any name registered in
+:mod:`repro.scheduler.registry`), on which superblock, on which machine,
+under which configuration — and carries a stable, human-readable job id
+so batches can be enumerated, sharded, retried and merged
+deterministically.  Because the backend is named rather than
+instantiated, a single batch can mix heterogeneous backends
+(``cars``/``vcs``/``hybrid``/``list``) and still shard across worker
+processes: the job pickles its :class:`~repro.scheduler.BackendSpec`
+coordinates, and the worker instantiates the backend on its side.
 :func:`run_schedule_job` is the module-level worker entry point (module
 level so it pickles by reference under every multiprocessing start
 method).
@@ -14,17 +20,19 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
-from repro.scheduler.cars import CarsScheduler
 from repro.scheduler.correctness import validate_schedule
+from repro.scheduler.registry import BackendSpec, backend_info
 from repro.scheduler.schedule import ScheduleResult
-from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+from repro.scheduler.vcs import VcsConfig
 from repro.workloads.suite import stable_block_id
 
-#: Scheduler kinds a job can request.
+#: The default baseline/proposed pair of the paper's experiments.  Any
+#: backend registered in :mod:`repro.scheduler.registry` is a valid
+#: ``ScheduleJob.scheduler``; this tuple is only the default comparison.
 SCHEDULER_KINDS = ("cars", "vcs")
 
 
@@ -48,9 +56,10 @@ def schedule_job_id(
 
 @dataclass(frozen=True)
 class ScheduleJob:
-    """One scheduler run on one block of one machine."""
+    """One scheduler-backend run on one block of one machine."""
 
     job_id: str
+    #: A backend name registered in :mod:`repro.scheduler.registry`.
     scheduler: str
     block: Superblock
     machine: ClusteredMachine
@@ -58,21 +67,26 @@ class ScheduleJob:
     #: Validate the produced schedule inside the worker (parallelises the
     #: correctness check along with the scheduling).
     check_schedule: bool = True
+    #: Backend-specific constructor options, as sorted ``(key, value)``
+    #: pairs so the job stays hashable and picklable.
+    backend_options: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.scheduler not in SCHEDULER_KINDS:
-            raise ValueError(
-                f"unknown scheduler {self.scheduler!r}; expected one of {SCHEDULER_KINDS}"
-            )
+        # Raises UnknownBackendError for unregistered names — validation
+        # happens at enumeration time, not inside a worker process.
+        backend_info(self.scheduler)
+
+    @property
+    def spec(self) -> BackendSpec:
+        """The job's backend coordinates as a :class:`BackendSpec`."""
+        return BackendSpec(
+            name=self.scheduler, vcs=self.vcs_config, options=self.backend_options
+        )
 
 
 def run_schedule_job(job: ScheduleJob) -> ScheduleResult:
     """Execute one job; the worker entry point of schedule batches."""
-    if job.scheduler == "cars":
-        result = CarsScheduler().schedule(job.block, job.machine)
-    else:
-        scheduler = VirtualClusterScheduler(job.vcs_config or VcsConfig())
-        result = scheduler.schedule(job.block, job.machine)
+    result = job.spec.create().schedule(job.block, job.machine)
     if job.check_schedule and result.schedule is not None:
         validate_schedule(result.schedule).raise_if_invalid()
     return result
@@ -91,7 +105,10 @@ def enumerate_workload_jobs(
 
     The canonical order is the contract the deterministic merge relies
     on: results are reassembled by job list position, so any two calls
-    with the same inputs enumerate identical job lists.
+    with the same inputs enumerate identical job lists.  ``vcs_config``
+    is attached to the backends that consume it (``vcs``, ``hybrid``, …)
+    and omitted from the rest, so one call can enumerate a heterogeneous
+    backend comparison.
     """
     jobs: List[ScheduleJob] = []
     for index, block in enumerate(blocks):
@@ -104,7 +121,9 @@ def enumerate_workload_jobs(
                     scheduler=scheduler,
                     block=block,
                     machine=machine,
-                    vcs_config=vcs_config if scheduler == "vcs" else None,
+                    vcs_config=(
+                        vcs_config if backend_info(scheduler).uses_vcs_config else None
+                    ),
                     check_schedule=check_schedules,
                 )
             )

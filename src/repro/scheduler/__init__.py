@@ -2,16 +2,21 @@
 
 * :class:`~repro.scheduler.vcs.VirtualClusterScheduler` — the paper's
   technique (scheduling graph + virtual clusters + deduction process,
-  Section 4).
+  Section 4), its six decision stages composed from
+  :mod:`repro.scheduler.pipeline`.
 * :class:`~repro.scheduler.cars.CarsScheduler` — the CARS baseline (unified
   assign-and-schedule list scheduling, Kailas et al.), the comparison point
   of the paper's evaluation.
 * :class:`~repro.scheduler.list_scheduler.ListScheduler` — a plain list
   scheduler with naive cluster assignment, useful as a sanity reference.
+* :class:`~repro.scheduler.registry.HybridScheduler` — a CARS pre-pass
+  seeding the VCS cycle-candidate windows.
 
-All schedulers produce a :class:`~repro.scheduler.schedule.Schedule` that can
-be checked with :func:`~repro.scheduler.correctness.validate_schedule` and
-scored with the AWCT metric.
+All backends are registered by name in :mod:`repro.scheduler.registry`
+(``create("vcs" | "cars" | "list" | "hybrid", ...)``) and produce a
+:class:`~repro.scheduler.schedule.Schedule` that can be checked with
+:func:`~repro.scheduler.correctness.validate_schedule` and scored with
+the AWCT metric.
 """
 
 from repro.scheduler.schedule import Schedule, ScheduledComm, ScheduleResult
@@ -19,7 +24,27 @@ from repro.scheduler.correctness import ScheduleError, ValidationReport, validat
 from repro.scheduler.list_scheduler import ListScheduler
 from repro.scheduler.cars import CarsScheduler
 from repro.scheduler.heuristics import state_score, compare_states
+from repro.scheduler.pipeline import (
+    DecisionStage,
+    ProbeEngine,
+    StageContext,
+    StagePipeline,
+    UnknownStageError,
+    available_stages,
+    resolve_stage_order,
+)
 from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
+from repro.scheduler.registry import (
+    BackendInfo,
+    BackendSpec,
+    HybridScheduler,
+    SchedulerBackend,
+    UnknownBackendError,
+    available_backends,
+    backend_info,
+    create,
+    register_backend,
+)
 
 __all__ = [
     "Schedule",
@@ -32,6 +57,22 @@ __all__ = [
     "CarsScheduler",
     "state_score",
     "compare_states",
+    "DecisionStage",
+    "ProbeEngine",
+    "StageContext",
+    "StagePipeline",
+    "UnknownStageError",
+    "available_stages",
+    "resolve_stage_order",
     "VcsConfig",
     "VirtualClusterScheduler",
+    "BackendInfo",
+    "BackendSpec",
+    "HybridScheduler",
+    "SchedulerBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "backend_info",
+    "create",
+    "register_backend",
 ]

@@ -60,11 +60,34 @@ def lowest_slack_operation(
     return min(unfixed, key=lambda op_id: (state.slack(op_id), op_id))
 
 
-def cycle_candidates(state: SchedulingState, op_id: int, count: int) -> List[int]:
-    """The first *count* cycles of the operation's window, earliest first."""
+def cycle_candidates(
+    state: SchedulingState, op_id: int, count: int, hint: Optional[int] = None
+) -> List[int]:
+    """*count* candidate cycles from the operation's ``[estart, lstart]``
+    window, earliest first.
+
+    Without a hint these are simply the first *count* cycles of the
+    window.  A *hint* (e.g. the cycle a CARS pre-pass placed the operation
+    in — the hybrid backend's seeding) keeps ``estart`` and fills the
+    remaining ``count - 1`` slots with the window cycles nearest the hint
+    (earlier cycles win ties), returned in ascending order.  ``estart``
+    always stays in the candidate set because the pinning stage's
+    progress mechanism (``ForbidCycle`` on a contradicting earliest
+    cycle) relies on the earliest cycle being probed; the deterministic
+    ``(score, cycle)`` winner selection is unaffected by candidate
+    order."""
     low = state.estart[op_id]
     high = int(state.lstart[op_id])
-    return list(range(low, min(high, low + count - 1) + 1))
+    if hint is None or hint <= low:
+        return list(range(low, min(high, low + count - 1) + 1))
+    # The count-1 nearest-to-hint cycles above estart all lie within
+    # count-1 of the hint (clamped into the window), so only that band is
+    # materialised — the window itself can be arbitrarily wide for
+    # high-slack operations.
+    centre = min(hint, high)
+    band = range(max(low + 1, centre - count + 2), min(high, centre + count - 2) + 1)
+    nearest = sorted(band, key=lambda cycle: (abs(cycle - hint), cycle))[: count - 1]
+    return [low] + sorted(nearest)
 
 
 def outedge_weights(state: SchedulingState) -> Dict[Tuple[int, int], int]:

@@ -152,6 +152,11 @@ class ScheduleResult:
     fallback_used: bool = False
     #: Hot-path probe counters (trail probes, rollbacks, copies avoided, …).
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-decision-stage ``{"calls": n, "wall_time_s": t}`` accumulated
+    #: across AWCT targets (pipeline schedulers only).  Wall times are
+    #: reported by the bench harness but never gated, and the field is
+    #: deliberately excluded from :meth:`fingerprint`.
+    stage_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -3,20 +3,22 @@ graph (Section 4 of the paper).
 
 The driver iterates over target AWCT values from an enhanced lower bound
 upwards; for each target it initialises a scheduling state through the
-deduction process and runs the six decision stages:
-
-1. decide combinations between original operations,
-2. pin original operations with remaining slack to cycles,
-3. eliminate out-edges (fuse VCs selected by a maximum weight matching, or
-   mark them incompatible, inserting communications),
-4. reduce and map virtual clusters onto physical clusters,
-5. / 6. decide and pin the communications created along the way.
+deduction process and runs the paper's six decision stages — now a
+composable :class:`~repro.scheduler.pipeline.StagePipeline` of independent
+:class:`~repro.scheduler.pipeline.DecisionStage` objects (combinations,
+fix-cycles, eliminate-outedges, final-mapping, fix-communications,
+extraction) sharing a :class:`~repro.scheduler.pipeline.StageContext`.
+The stage order is configuration (``VcsConfig.stage_order``), with the
+paper's order as the default and the A2 eager-mapping ablation as a
+reordering rather than a separate code path.
 
 Whenever the deduction process proves that a candidate can neither be chosen
 nor discarded, the target AWCT is abandoned and the next one is tried.  A
 work budget (the compile-time proxy) or wall-clock limit aborts the whole
-attempt, in which case the scheduler falls back to the CARS baseline for the
-block — exactly the paper's threshold mechanism.
+attempt, in which case the scheduler falls back to its ``fallback`` backend
+for the block — CARS by default, exactly the paper's threshold mechanism,
+but expressed as backend composition (any registered scheduler backend can
+stand in).
 
 Hot-path design
 ---------------
@@ -34,44 +36,38 @@ runs once and bound deltas propagate only from changed nodes.
 ``VcsConfig.use_trail=False`` restores copy-based probing (one full state
 copy per candidate); the two modes follow the same control flow and must
 produce byte-identical schedules, which the determinism tests assert.
+The probing primitives live in
+:class:`~repro.scheduler.pipeline.ProbeEngine`, shared by all stages.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.bounds.awct import min_exit_cycles
 from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
-from repro.deduction.consequence import (
-    Change,
-    ChooseCombination,
-    Decision,
-    DiscardCombination,
-    ForbidCycle,
-    FuseVCs,
-    MarkVCsIncompatible,
-    ScheduleInCycle,
-    SetExitDeadlines,
-)
-from repro.deduction.engine import (
-    BudgetExhausted,
-    DeductionProcess,
-    DeductionResult,
-    WorkBudget,
-)
+from repro.deduction.consequence import SetExitDeadlines
+from repro.deduction.engine import BudgetExhausted, DeductionProcess, WorkBudget
 from repro.deduction.rules import default_rules
 from repro.deduction.state import SchedulingState
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
-from repro.scheduler import candidates as cand
-from repro.scheduler.cars import CarsScheduler
-from repro.scheduler.correctness import validate_schedule
-from repro.scheduler.heuristics import state_score
-from repro.scheduler.schedule import Schedule, ScheduledComm, ScheduleResult
+from repro.scheduler.pipeline import (
+    ProbeEngine,
+    StageContext,
+    StagePipeline,
+    new_probe_stats,
+)
+from repro.scheduler.schedule import ScheduleResult
 from repro.sgraph.scheduling_graph import SchedulingGraph
-from repro.vcluster.mapping import map_virtual_to_physical
+
+#: ``VcsConfig`` fields coerced from strings by :meth:`VcsConfig.from_dict`
+#: (environment overrides arrive as text).
+_BOOL_TRUE = ("1", "true", "yes", "on")
+_BOOL_FALSE = ("0", "false", "no", "off")
 
 
 @dataclass
@@ -79,7 +75,10 @@ class VcsConfig:
     """Tunable knobs of the proposed scheduler.
 
     The defaults correspond to the configuration used for the main results;
-    the ablation benchmarks flip individual flags.
+    the ablation benchmarks flip individual flags.  The whole object is
+    picklable — it travels inside :class:`repro.runner.ScheduleJob` to
+    worker processes — and round-trips through :meth:`to_dict` /
+    :meth:`from_dict` (the JSON/CLI/environment configuration surface).
     """
 
     #: Deterministic compile-effort limit (deduction rule firings); None = unlimited.
@@ -102,57 +101,160 @@ class VcsConfig:
     #: Enable the partially-linked-communication rules (ablation A1).
     enable_plc: bool = True
     #: Map virtual clusters eagerly after stage 1 instead of postponing the
-    #: mapping to the end (ablation A2).
+    #: mapping to the end (ablation A2).  Shorthand for the corresponding
+    #: ``stage_order``.
     eager_mapping: bool = False
     #: Use the maximum weight matching in stage 3 (ablation A3); when off,
     #: out-edges are eliminated one highest-weight pair at a time.
     use_matching: bool = True
-    #: Fall back to CARS when the budget is exhausted (the paper's timeout
-    #: mechanism).  When False the scheduler raises instead.
+    #: Fall back to the fallback backend (CARS by default) when the budget
+    #: is exhausted — the paper's timeout mechanism.  When False the
+    #: scheduler returns a schedule-less result instead.
     fallback_to_cars: bool = True
     #: Probe candidate decisions in place via the mutation trail (rollback
     #: on contradiction) instead of deep-copying the state per candidate.
     #: Both modes follow the same decision sequence; False exists for the
     #: determinism tests and the perf harness.
     use_trail: bool = True
+    #: Explicit decision-stage order (names from
+    #: :func:`repro.scheduler.pipeline.available_stages`); None selects the
+    #: paper's order (or the eager-mapping variant).
+    stage_order: Optional[Tuple[str, ...]] = None
+    #: Per-operation cycle hints ``((op_id, cycle), ...)`` biasing the
+    #: cycle-candidate windows of stage 2 — the hybrid backend seeds these
+    #: from a CARS pre-pass.  A tuple of pairs so the config stays
+    #: picklable and comparable.
+    cycle_hints: Optional[Tuple[Tuple[int, int], ...]] = None
 
+    # ------------------------------------------------------------------ #
+    # serialisation (CLI / JSON / environment configuration surface)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-serialisable description (inverse of :meth:`from_dict`)."""
+        out = dataclasses.asdict(self)
+        if out["stage_order"] is not None:
+            out["stage_order"] = list(out["stage_order"])
+        if out["cycle_hints"] is not None:
+            out["cycle_hints"] = [list(pair) for pair in out["cycle_hints"]]
+        return out
 
-def _new_stats() -> Dict[str, int]:
-    return {
-        "probes": 0,
-        "copies": 0,
-        "rollbacks": 0,
-        "redos": 0,
-        "copies_avoided": 0,
-        "trail_entries_undone": 0,
-    }
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VcsConfig":
+        """Build a config from a mapping, coercing string values (JSON or
+        environment sources); unknown keys are rejected."""
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(data) - set(fields)
+        if unknown:
+            raise ValueError(
+                f"unknown VcsConfig keys {sorted(unknown)}; known: {sorted(fields)}"
+            )
+        kwargs = {}
+        for key, value in data.items():
+            kwargs[key] = cls._coerce(key, value)
+        return cls(**kwargs)
+
+    @staticmethod
+    def _coerce(key: str, value):
+        if value is None:
+            return None
+        if key == "stage_order":
+            # Environment/CLI sources deliver a comma-separated string.
+            if isinstance(value, str):
+                value = [name.strip() for name in value.split(",") if name.strip()]
+            return tuple(str(name) for name in value)
+        if key == "cycle_hints":
+            # String form: "op:cycle,op:cycle".
+            if isinstance(value, str):
+                value = [pair.split(":") for pair in value.split(",") if pair.strip()]
+            return tuple((int(op), int(cycle)) for op, cycle in value)
+        if key in ("work_budget", "max_awct_steps", "stage1_max_decisions", "cycle_candidates"):
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                raise ValueError(f"invalid integer {value!r} for VcsConfig.{key}") from None
+        if key in ("time_limit", "stage1_slack_limit"):
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                raise ValueError(f"invalid number {value!r} for VcsConfig.{key}") from None
+        # Booleans: accept real bools and the usual textual spellings.
+        if isinstance(value, str):
+            text = value.strip().lower()
+            if text in _BOOL_TRUE:
+                return True
+            if text in _BOOL_FALSE:
+                return False
+            raise ValueError(f"invalid boolean {value!r} for VcsConfig.{key}")
+        return bool(value)
+
+    def hints_mapping(self) -> Dict[int, int]:
+        """The cycle hints as a dict (empty when unset)."""
+        return dict(self.cycle_hints or ())
 
 
 class VirtualClusterScheduler:
-    """Scheduler implementing the paper's technique."""
+    """Scheduler implementing the paper's technique.
+
+    Parameters
+    ----------
+    config:
+        The :class:`VcsConfig` knobs; defaults to the main-results
+        configuration.
+    fallback:
+        The scheduler backend used when the work budget or wall-clock
+        limit is exhausted (``config.fallback_to_cars``).  Any object with
+        a ``schedule(block, machine) -> ScheduleResult`` method works —
+        the registry composes the default CARS baseline in, and tests can
+        substitute other backends.  ``None`` builds a
+        :class:`~repro.scheduler.cars.CarsScheduler` lazily.
+    """
 
     name = "VCS"
 
-    def __init__(self, config: Optional[VcsConfig] = None) -> None:
+    def __init__(self, config: Optional[VcsConfig] = None, fallback=None) -> None:
         self.config = config or VcsConfig()
-        self._deadline: Optional[float] = None
+        self._fallback = fallback
+        self._pipeline = StagePipeline.from_config(self.config)
         #: Probe/copy counters of the most recent :meth:`schedule` call.
-        self.stats: Dict[str, int] = _new_stats()
+        self.stats: Dict[str, int] = new_probe_stats()
+        #: Per-stage call counts and wall times of the most recent call.
+        self.stage_timings: Dict[str, Dict[str, float]] = {}
+
+    @property
+    def stage_order(self) -> Tuple[str, ...]:
+        """The effective decision-stage order of this scheduler."""
+        return self._pipeline.stage_names
+
+    def _fallback_backend(self):
+        if self._fallback is None:
+            from repro.scheduler.cars import CarsScheduler
+
+            self._fallback = CarsScheduler()
+        return self._fallback
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def schedule(self, block: Superblock, machine: ClusteredMachine) -> ScheduleResult:
         """Schedule *block* on *machine*; never returns without a schedule
-        (falls back to CARS on budget exhaustion unless configured not to)."""
+        (falls back to the fallback backend on budget exhaustion unless
+        configured not to)."""
         start = time.perf_counter()
-        self._deadline = (
-            start + self.config.time_limit if self.config.time_limit is not None else None
-        )
-        self.stats = _new_stats()
+        self.stats = new_probe_stats()
+        engine = ProbeEngine(self.config, self.stats)
+        if self.config.time_limit is not None:
+            engine.deadline = start + self.config.time_limit
         dp = DeductionProcess(rules=default_rules(enable_plc=self.config.enable_plc))
         budget = WorkBudget(self.config.work_budget)
         sgraph = SchedulingGraph(block, machine)
+        ctx = StageContext(
+            dp=dp,
+            budget=budget,
+            config=self.config,
+            engine=engine,
+            cycle_hints=self.config.hints_mapping(),
+        )
+        self.stage_timings = ctx.timings
 
         # Trail mode reuses one pristine state for every minAWCT probe and
         # AWCT target (rolled back in between); copy mode rebuilds it.
@@ -166,35 +268,29 @@ class VirtualClusterScheduler:
         timed_out = False
         try:
             initial = self._tighten_exit_bounds(
-                block, machine, sgraph, dp, budget, shared=shared, pristine=pristine
+                block, machine, sgraph, ctx, shared=shared, pristine=pristine
             )
             enumerator = ExitBoundEnumerator(block, machine, initial_cycles=initial)
             for target in enumerator:
                 steps_tried += 1
                 if steps_tried > self.config.max_awct_steps:
                     break
-                self._check_time()
+                engine.check_time()
                 if shared is not None:
-                    self._rollback(shared, pristine)
-                state = self._try_target(
-                    block, machine, sgraph, dp, target, budget, shared
-                )
-                if state is None:
-                    continue
-                schedule = self._extract(state, machine)
-                if schedule is None:
-                    continue
-                if not validate_schedule(schedule).ok:
+                    engine.rollback(shared, pristine)
+                state = self._try_target(block, machine, sgraph, ctx, target, shared)
+                if state is None or ctx.schedule is None:
                     continue
                 return ScheduleResult(
                     scheduler=self.name,
                     block=block,
                     machine=machine,
-                    schedule=schedule,
+                    schedule=ctx.schedule,
                     work=budget.spent,
                     wall_time=time.perf_counter() - start,
                     awct_target_steps=steps_tried,
                     stats=dict(self.stats),
+                    stage_timings={k: dict(v) for k, v in ctx.timings.items()},
                 )
         except BudgetExhausted:
             timed_out = True
@@ -210,8 +306,9 @@ class VirtualClusterScheduler:
                 timed_out=timed_out,
                 awct_target_steps=steps_tried,
                 stats=dict(self.stats),
+                stage_timings={k: dict(v) for k, v in ctx.timings.items()},
             )
-        fallback = CarsScheduler().schedule(block, machine)
+        fallback = self._fallback_backend().schedule(block, machine)
         return ScheduleResult(
             scheduler=self.name,
             block=block,
@@ -223,110 +320,18 @@ class VirtualClusterScheduler:
             awct_target_steps=steps_tried,
             fallback_used=True,
             stats=dict(self.stats),
+            stage_timings={k: dict(v) for k, v in ctx.timings.items()},
         )
 
     # ------------------------------------------------------------------ #
-    # probing primitives
+    # minAWCT tightening (Section 4.2)
     # ------------------------------------------------------------------ #
-    def _check_time(self) -> None:
-        if self._deadline is not None and time.perf_counter() > self._deadline:
-            raise BudgetExhausted("wall-clock limit exceeded")
-
-    def _apply_sequence(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        decisions: Sequence[Decision],
-        budget: Optional[WorkBudget],
-    ) -> DeductionResult:
-        """Apply *decisions* to *state* in place, accumulating consequences
-        and work across the whole sequence (multi-decision studies report
-        the total, not just the last decision's share)."""
-        consequences: List[Change] = []
-        work = 0
-        for decision in decisions:
-            result = dp.apply(state, decision, budget=budget, in_place=True)
-            consequences.extend(result.consequences)
-            work += result.work
-            if not result.ok:
-                return DeductionResult(
-                    state=state,
-                    consequences=consequences,
-                    contradiction=result.contradiction,
-                    work=work,
-                )
-        return DeductionResult(state=state, consequences=consequences, work=work)
-
-    def _study(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        decisions: Sequence[Decision],
-        budget: WorkBudget,
-    ) -> DeductionResult:
-        """Copy mode: evaluate a sequence of decisions on a copy of *state*."""
-        self.stats["copies"] += 1
-        return self._apply_sequence(dp, state.copy(), decisions, budget)
-
-    def _probe(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        decisions: Sequence[Decision],
-        budget: WorkBudget,
-    ) -> Tuple[int, DeductionResult]:
-        """Trail mode: apply *decisions* in place on top of a checkpoint.
-
-        The caller decides whether to keep the mutations or roll back to the
-        returned mark."""
-        mark = state.checkpoint()
-        self.stats["probes"] += 1
-        self.stats["copies_avoided"] += 1
-        return mark, self._apply_sequence(dp, state, decisions, budget)
-
-    def _rollback(self, state: SchedulingState, mark: int) -> None:
-        self.stats["rollbacks"] += 1
-        self.stats["trail_entries_undone"] += state.rollback(mark)
-
-    def _rollback_capture(self, state: SchedulingState, mark: int) -> List[tuple]:
-        self.stats["rollbacks"] += 1
-        log = state.rollback_capture(mark)
-        self.stats["trail_entries_undone"] += len(log)
-        return log
-
-    def _redo(self, state: SchedulingState, log: List[tuple]) -> None:
-        """Keep a probed winner by re-applying its captured mutations —
-        byte-exact and without re-running its deduction (the work was
-        already charged when the candidate was probed)."""
-        self.stats["redos"] += 1
-        state.redo(log)
-
-    def _try_keep(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        decisions: Sequence[Decision],
-        budget: WorkBudget,
-    ) -> Optional[SchedulingState]:
-        """Attempt *decisions*; on success return the resulting current
-        state (mutated in place in trail mode, a studied copy otherwise),
-        on contradiction return None with *state* unchanged."""
-        if self.config.use_trail:
-            mark, result = self._probe(dp, state, decisions, budget)
-            if result.ok:
-                return state
-            self._rollback(state, mark)
-            return None
-        study = self._study(dp, state, decisions, budget)
-        return study.state if study.ok else None
-
     def _tighten_exit_bounds(
         self,
         block: Superblock,
         machine: ClusteredMachine,
         sgraph: SchedulingGraph,
-        dp: DeductionProcess,
-        budget: WorkBudget,
+        ctx: StageContext,
         max_probe: int = 6,
         shared: Optional[SchedulingState] = None,
         pristine: int = 0,
@@ -334,22 +339,23 @@ class VirtualClusterScheduler:
         """Enhanced minAWCT (Section 4.2): probe each exit's earliest cycle
         through the deduction process and push it up when the DP proves it
         impossible."""
+        engine = ctx.engine
         base = min_exit_cycles(block, machine)
         tightened: Dict[int, int] = {}
         for exit_id, cycle in base.items():
             chosen = cycle
             for attempt in range(max_probe):
-                self._check_time()
+                engine.check_time()
                 if shared is not None:
-                    self._rollback(shared, pristine)
-                    self.stats["copies_avoided"] += 1
+                    engine.rollback(shared, pristine)
+                    engine.stats["copies_avoided"] += 1
                     probe = shared
                 else:
                     probe = SchedulingState(block, machine, sgraph)
-                result = dp.apply(
+                result = ctx.dp.apply(
                     probe,
                     SetExitDeadlines.from_mapping({exit_id: chosen}),
-                    budget=budget,
+                    budget=ctx.budget,
                     in_place=True,
                 )
                 if result.ok:
@@ -357,352 +363,32 @@ class VirtualClusterScheduler:
                 chosen += 1
             tightened[exit_id] = chosen
         if shared is not None:
-            self._rollback(shared, pristine)
+            engine.rollback(shared, pristine)
         return tightened
 
     # ------------------------------------------------------------------ #
-    # per-target scheduling
+    # per-target scheduling: run the stage pipeline
     # ------------------------------------------------------------------ #
     def _try_target(
         self,
         block: Superblock,
         machine: ClusteredMachine,
         sgraph: SchedulingGraph,
-        dp: DeductionProcess,
+        ctx: StageContext,
         target: ExitBoundStep,
-        budget: WorkBudget,
         shared: Optional[SchedulingState] = None,
     ) -> Optional[SchedulingState]:
         if shared is not None:
             state = shared  # already rolled back to pristine by the caller
-            self.stats["copies_avoided"] += 1
+            ctx.engine.stats["copies_avoided"] += 1
         else:
             state = SchedulingState(block, machine, sgraph)
-        result = dp.apply(
+        result = ctx.dp.apply(
             state,
             SetExitDeadlines.from_mapping(target.exit_cycles),
-            budget=budget,
+            budget=ctx.budget,
             in_place=True,
         )
         if not result.ok:
             return None
-        state = result.state
-
-        if self.config.eager_mapping:
-            stages = [
-                self._stage_combinations,
-                self._stage_eliminate_outedges,
-                self._stage_final_mapping,
-                self._stage_fix_cycles,
-                self._stage_fix_communications,
-            ]
-        else:
-            stages = [
-                self._stage_combinations,
-                self._stage_fix_cycles,
-                self._stage_eliminate_outedges,
-                self._stage_final_mapping,
-                self._stage_fix_communications,
-            ]
-        for stage in stages:
-            self._check_time()
-            state = stage(dp, state, budget)
-            if state is None:
-                return None
-        return state
-
-    # ------------------------------------------------------------------ #
-    # stage 1: combinations between original operations
-    # ------------------------------------------------------------------ #
-    def _stage_combinations(
-        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
-    ) -> Optional[SchedulingState]:
-        decisions_made = 0
-        while decisions_made < self.config.stage1_max_decisions:
-            self._check_time()
-            pick = cand.most_constraining_pair(state)
-            if pick is None:
-                return state
-            u, v, slack = pick
-            forced = state.must_overlap(u, v)
-            if not forced and slack > self.config.stage1_slack_limit:
-                return state
-            decisions_made += 1
-
-            if self.config.use_trail:
-                outcome = self._decide_pair_in_place(dp, state, u, v, budget)
-                if outcome is None:
-                    return None
-                continue
-
-            viable: List[Tuple[Tuple, int, SchedulingState]] = []
-            for distance in list(state.remaining_combinations(u, v)):
-                study = self._study(dp, state, [ChooseCombination(u, v, distance)], budget)
-                if study.ok:
-                    viable.append((state_score(study.state), distance, study.state))
-                else:
-                    # The deduction process proved this combination leads to
-                    # no valid schedule: discarding it is mandatory.
-                    committed = self._study(
-                        dp, state, [DiscardCombination(u, v, distance)], budget
-                    )
-                    if not committed.ok:
-                        return None
-                    state = committed.state
-
-            if viable:
-                viable.sort(key=lambda item: (item[0], item[1]))
-                state = viable[0][2]
-            elif not state.is_pair_decided(u, v):
-                # The pair can neither be chosen nor discarded: no schedule
-                # exists for this AWCT target.
-                return None
-        return state
-
-    def _decide_pair_in_place(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        u: int,
-        v: int,
-        budget: WorkBudget,
-    ) -> Optional[SchedulingState]:
-        """Trail-mode body of one stage-1 iteration.
-
-        Probes every remaining combination of the pair (rolling each back
-        with redo capture), commits the mandatory discards of contradictory
-        combinations as they are found — later probes must see them, exactly
-        like the copy-based loop — and finally keeps the winner by rolling
-        back to the winner's probe point (undoing discards committed after
-        it, which the winning lineage never saw) and redoing the captured
-        mutations.  The result is byte-identical to the copy the copy-based
-        scheduler would have kept, without re-running any deduction."""
-        best: Optional[Tuple[Tuple, int, int, List[tuple]]] = None  # (score, distance, mark, redo log)
-        for distance in list(state.remaining_combinations(u, v)):
-            mark, study = self._probe(dp, state, [ChooseCombination(u, v, distance)], budget)
-            if study.ok:
-                score = state_score(state)
-                log = self._rollback_capture(state, mark)
-                if best is None or (score, distance) < (best[0], best[1]):
-                    best = (score, distance, mark, log)
-            else:
-                self._rollback(state, mark)
-                # Discarding the contradictory combination is mandatory.
-                commit = self._apply_sequence(
-                    dp, state, [DiscardCombination(u, v, distance)], budget
-                )
-                if not commit.ok:
-                    return None
-
-        if best is not None:
-            _, _, mark, log = best
-            self._rollback(state, mark)
-            self._redo(state, log)
-            return state
-        if not state.is_pair_decided(u, v):
-            # The pair can neither be chosen nor discarded: no schedule
-            # exists for this AWCT target.
-            return None
-        return state
-
-    # ------------------------------------------------------------------ #
-    # stage 2 / 6: pin operations with slack to cycles
-    # ------------------------------------------------------------------ #
-    def _fix_cycles(
-        self,
-        dp: DeductionProcess,
-        state: SchedulingState,
-        budget: WorkBudget,
-        communications: bool,
-    ) -> Optional[SchedulingState]:
-        use_trail = self.config.use_trail
-        safety = 0
-        limit = 8 * (len(state.all_ids) + 4)
-        while True:
-            safety += 1
-            if safety > limit:
-                return None
-            self._check_time()
-            op_id = cand.lowest_slack_operation(state, communications=communications)
-            if op_id is None:
-                return state
-            # Copies are few and bus contention is unforgiving (especially on
-            # a non-pipelined bus), so more alternative cycles are studied
-            # for them than for ordinary operations.
-            n_candidates = (
-                max(4, self.config.cycle_candidates)
-                if communications
-                else self.config.cycle_candidates
-            )
-            cycles = cand.cycle_candidates(state, op_id, n_candidates)
-            earliest_contradicts = False
-            if use_trail:
-                best: Optional[Tuple[Tuple, int, List[tuple]]] = None  # (score, cycle, redo log)
-                for cycle in cycles:
-                    mark, study = self._probe(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
-                    if study.ok:
-                        score = state_score(state)
-                        log = self._rollback_capture(state, mark)
-                        if best is None or (score, cycle) < (best[0], best[1]):
-                            best = (score, cycle, log)
-                    else:
-                        self._rollback(state, mark)
-                        if cycle == state.estart[op_id]:
-                            earliest_contradicts = True
-                if best is not None:
-                    self._redo(state, best[2])
-                    continue
-            else:
-                viable: List[Tuple[Tuple, int, SchedulingState]] = []
-                for cycle in cycles:
-                    study = self._study(dp, state, [ScheduleInCycle(op_id, cycle)], budget)
-                    if study.ok:
-                        viable.append((state_score(study.state), cycle, study.state))
-                    elif cycle == state.estart[op_id]:
-                        earliest_contradicts = True
-                if viable:
-                    viable.sort(key=lambda item: (item[0], item[1]))
-                    state = viable[0][2]
-                    continue
-            if earliest_contradicts and state.slack(op_id) > 0:
-                committed = self._try_keep(
-                    dp, state, [ForbidCycle(op_id, state.estart[op_id])], budget
-                )
-                if committed is None:
-                    return None
-                state = committed
-                continue
-            return None
-
-    def _stage_fix_cycles(
-        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
-    ) -> Optional[SchedulingState]:
-        return self._fix_cycles(dp, state, budget, communications=False)
-
-    def _stage_fix_communications(
-        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
-    ) -> Optional[SchedulingState]:
-        if self.config.use_trail:
-            self.stats["copies_avoided"] += 1
-        else:
-            state = state.copy()
-            self.stats["copies"] += 1
-        state.drop_unresolved_plcs()
-        return self._fix_cycles(dp, state, budget, communications=True)
-
-    # ------------------------------------------------------------------ #
-    # stage 3: eliminate out-edges
-    # ------------------------------------------------------------------ #
-    def _stage_eliminate_outedges(
-        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
-    ) -> Optional[SchedulingState]:
-        safety = 0
-        limit = 4 * len(state.original_ids) + 16
-        while True:
-            safety += 1
-            if safety > limit:
-                return None
-            self._check_time()
-            if not state.outedges():
-                return state
-
-            if self.config.use_matching:
-                pairs = cand.matching_candidates(state)
-                if len(pairs) > 1:
-                    kept = self._try_keep(dp, state, [FuseVCs(pairs=tuple(pairs))], budget)
-                    if kept is not None:
-                        state = kept
-                        continue
-                    # A failed matching is not decomposed into per-pair
-                    # discards (Section 4.4.2); fall through to the single
-                    # highest-weight edge.
-
-            pair = cand.highest_weight_pair(state)
-            if pair is None:
-                return state
-            a, b = pair
-            kept = self._try_keep(dp, state, [FuseVCs.single(a, b)], budget)
-            if kept is not None:
-                state = kept
-                continue
-            kept = self._try_keep(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
-            if kept is not None:
-                state = kept
-                continue
-            return None
-
-    # ------------------------------------------------------------------ #
-    # stage 4: final mapping of virtual clusters to physical clusters
-    # ------------------------------------------------------------------ #
-    def _stage_final_mapping(
-        self, dp: DeductionProcess, state: SchedulingState, budget: WorkBudget
-    ) -> Optional[SchedulingState]:
-        n_clusters = state.machine.n_clusters
-        safety = 0
-        limit = 4 * len(state.original_ids) + 16
-        while True:
-            safety += 1
-            if safety > limit:
-                return None
-            self._check_time()
-            if state.vcg.n_vcs <= n_clusters:
-                mapping = map_virtual_to_physical(state.vcg, n_clusters, injective=True)
-                if mapping is not None:
-                    return state
-            candidates = cand.fusion_candidates_for_mapping(state)
-            if not candidates:
-                return None
-            progressed = False
-            for a, b in candidates:
-                kept = self._try_keep(dp, state, [FuseVCs.single(a, b)], budget)
-                if kept is not None:
-                    state = kept
-                    progressed = True
-                    break
-                kept = self._try_keep(dp, state, [MarkVCsIncompatible.single(a, b)], budget)
-                if kept is not None:
-                    state = kept
-                    progressed = True
-                    break
-            if not progressed:
-                return None
-
-    # ------------------------------------------------------------------ #
-    # schedule extraction
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _extract(state: SchedulingState, machine: ClusteredMachine) -> Optional[Schedule]:
-        mapping = map_virtual_to_physical(state.vcg, machine.n_clusters, injective=True)
-        if mapping is None:
-            mapping = map_virtual_to_physical(state.vcg, machine.n_clusters)
-        if mapping is None:
-            return None
-        cycles: Dict[int, int] = {}
-        clusters: Dict[int, int] = {}
-        for op_id in state.original_ids:
-            if not state.is_fixed(op_id):
-                return None
-            cycles[op_id] = state.estart[op_id]
-            clusters[op_id] = mapping[state.vcg.vc_of(op_id)]
-        comms: List[ScheduledComm] = []
-        for comm in state.comms.fully_linked():
-            if not state.is_fixed(comm.comm_id):
-                return None
-            src = clusters.get(comm.producer, 0)
-            dst = clusters.get(comm.consumer) if comm.consumer is not None else None
-            comms.append(
-                ScheduledComm(
-                    value=comm.value or f"comm{comm.comm_id}",
-                    producer=comm.producer if comm.producer is not None else -1,
-                    cycle=state.estart[comm.comm_id],
-                    src_cluster=src,
-                    dst_cluster=dst,
-                )
-            )
-        return Schedule(
-            block=state.block,
-            machine=machine,
-            cycles=cycles,
-            clusters=clusters,
-            comms=comms,
-        )
+        return self._pipeline.run(ctx, result.state)

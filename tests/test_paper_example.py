@@ -84,9 +84,16 @@ class TestSection5Deductions:
         scheduler = VirtualClusterScheduler()
         dp = DeductionProcess()
         from repro.deduction import WorkBudget
+        from repro.scheduler.pipeline import ProbeEngine, StageContext
 
+        ctx = StageContext(
+            dp=dp,
+            budget=WorkBudget(None),
+            config=scheduler.config,
+            engine=ProbeEngine(scheduler.config),
+        )
         tightened = scheduler._tighten_exit_bounds(
-            block, machine, SchedulingGraph(block, machine), dp, WorkBudget(None)
+            block, machine, SchedulingGraph(block, machine), ctx
         )
         enumerator = ExitBoundEnumerator(block, machine, initial_cycles=tightened)
         targets = enumerator.targets(2)
