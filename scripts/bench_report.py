@@ -18,6 +18,12 @@ A registry sweep additionally runs every scheduler backend
 per-backend ``dp_work`` and schedule digests (gated) plus the VCS
 pipeline's per-decision-stage wall-time breakdown (reported only).
 
+A scenario-matrix sample (``ring``/``p2p`` machine families crossed with
+the ``membound``/``exitdense`` workload families) records a gated
+``dp_work`` + schedule digest per (machine, workload family, backend)
+cell, so interconnect-topology and workload-family behaviour is
+byte-tracked like the default configurations.
+
 The trail-mode workload is run twice through the parallel batch runner
 (``repro.runner``): once serially and once with ``--jobs`` workers, so
 the report also records the sharded runner's wall-time throughput and
@@ -251,6 +257,44 @@ def measure_backends(n_synth: int) -> dict:
     return backends
 
 
+#: The gated scenario sample: every machine of these families crossed with
+#: these workload families (>= 2 interconnect topologies x >= 2 workload
+#: families).  Fixed block count so the committed digests are environment
+#: independent (REPRO_BENCH_BLOCKS scales only the main bench workload).
+SCENARIO_MACHINE_FAMILIES = ("ring", "p2p")
+SCENARIO_WORKLOAD_FAMILIES = ("membound", "exitdense")
+SCENARIO_BACKENDS = ("vcs",)
+SCENARIO_BLOCKS = 1
+
+
+def measure_scenarios() -> dict:
+    """The scenario-matrix sweep the CI gate records (current tree only).
+
+    Runs the proposed backend over a small sample of the scenario matrix —
+    ring and point-to-point machines crossed with the memory-bound and
+    exit-dense workload families — and records each cell's deterministic
+    ``dp_work`` and schedule digest.  Wall time is reported, not gated."""
+    from repro.analysis.experiments import run_scenario_matrix
+
+    t0 = time.perf_counter()
+    cells, _records = run_scenario_matrix(
+        SCENARIO_MACHINE_FAMILIES,
+        SCENARIO_WORKLOAD_FAMILIES,
+        backends=SCENARIO_BACKENDS,
+        blocks_per_benchmark=SCENARIO_BLOCKS,
+    )
+    return {
+        "config": {
+            "machine_families": list(SCENARIO_MACHINE_FAMILIES),
+            "workload_families": list(SCENARIO_WORKLOAD_FAMILIES),
+            "backends": list(SCENARIO_BACKENDS),
+            "blocks_per_benchmark": SCENARIO_BLOCKS,
+        },
+        "wall_time_s": time.perf_counter() - t0,
+        "cells": [cell.as_row() for cell in cells],
+    }
+
+
 def digest_fingerprints(report: dict) -> dict:
     """Replace each machine's raw fingerprint list with its SHA-256 digest.
 
@@ -292,9 +336,13 @@ def main() -> int:
 
     from repro.runner import resolve_jobs
 
-    jobs = resolve_jobs(args.jobs)
-    if jobs <= 1:
-        jobs = 2  # the serial run is measured separately; always exercise the pool
+    if args.jobs is None and "REPRO_JOBS" not in os.environ:
+        jobs = 2  # the serial run is measured separately; exercise the pool
+    else:
+        # An explicit worker count (flag or env) is honoured as-is so CI can
+        # matrix the gate over REPRO_JOBS={1,2} and verify that the recorded
+        # digests are identical whether the runner shards or not.
+        jobs = max(resolve_jobs(args.jobs), 1)
 
     src = str(REPO_ROOT / "src")
     print(f"[bench] current tree, trail mode, serial ({args.blocks} synthetic blocks)...")
@@ -305,6 +353,8 @@ def main() -> int:
     copy = run_driver(src, "copy", args.blocks, jobs=1)
     print("[bench] current tree, backend sweep (registry)...")
     backends = measure_backends(args.blocks)
+    print("[bench] current tree, scenario-matrix sample (ring/p2p x workload families)...")
+    scenarios = measure_scenarios()
 
     baseline = None
     baseline_identical = None
@@ -356,6 +406,7 @@ def main() -> int:
             "schedules_identical_serial_vs_parallel": parallel_identical,
         },
         "backends": backends,
+        "scenarios": scenarios,
     }
     if baseline is not None:
         base_wall = total_wall(baseline)
@@ -390,6 +441,12 @@ def main() -> int:
         wall = sum(m["wall_time_s"] for m in entry["machines"])
         work = sum(m["dp_work"] for m in entry["machines"])
         print(f"[bench] backend {name:8s} wall {wall:.2f}s | dp_work {work}")
+    n_cells = len(scenarios["cells"])
+    topologies = sorted({cell["machine_family"] for cell in scenarios["cells"]})
+    print(
+        f"[bench] scenario sample: {n_cells} cells over {'/'.join(topologies)} "
+        f"in {scenarios['wall_time_s']:.2f}s"
+    )
     vcs_stages = backends.get("vcs", {}).get("stage_timings", {})
     if vcs_stages:
         breakdown = " | ".join(

@@ -14,11 +14,16 @@ Gated (the job fails on any mismatch):
   machine: ``dp_work`` and ``schedule_digest`` of the registry sweep —
   a behaviour change in *any* backend fails the gate, not just the
   default pair;
+* per scenario cell (machine x workload family x backend) of the
+  scenario-matrix sample: ``dp_work`` and ``schedule_digest`` — ring and
+  point-to-point topologies and the parametric workload families are
+  byte-tracked like the default configurations;
 * the fresh report's serial-vs-parallel identity flag — the parallel
   runner must not change any schedule.
 
 Reported but NOT gated: wall times, throughput and the per-decision-stage
-timing breakdown (host dependent).
+timing breakdown (host dependent).  Per-stage timing drift against the
+committed report is surfaced as a warning section.
 
 Usage::
 
@@ -45,6 +50,92 @@ def load(path: str) -> dict:
 
 def machine_rows(report: dict, mode: str) -> dict:
     return {m["machine"]: m for m in report.get(mode, {}).get("machines", [])}
+
+
+def report_stage_drift(old_stages: dict, new_stages: dict) -> None:
+    """Per-decision-stage timing drift vs the committed report (warnings,
+    never gated: wall times are host dependent, but a stage suddenly
+    dominating the pipeline is worth a look before it shows up as a wall
+    regression)."""
+    if not new_stages:
+        return
+    if not old_stages:
+        for stage, entry in new_stages.items():
+            print(
+                f"[gate] vcs stage {stage}: {entry.get('wall_time_s', 0):.2f}s "
+                f"over {entry.get('calls', 0)} calls (not gated)"
+            )
+        return
+    old_total = sum(entry.get("wall_time_s", 0) for entry in old_stages.values())
+    new_total = sum(entry.get("wall_time_s", 0) for entry in new_stages.values())
+    for stage in sorted(set(old_stages) | set(new_stages)):
+        old = old_stages.get(stage, {})
+        new = new_stages.get(stage, {})
+        old_share = old.get("wall_time_s", 0) / old_total if old_total else 0.0
+        new_share = new.get("wall_time_s", 0) / new_total if new_total else 0.0
+        line = (
+            f"vcs stage {stage}: {old.get('wall_time_s', 0):.2f}s "
+            f"({old_share:5.1%}) -> {new.get('wall_time_s', 0):.2f}s "
+            f"({new_share:5.1%}), calls {old.get('calls', 0)} -> {new.get('calls', 0)}"
+        )
+        drifted = abs(new_share - old_share) > 0.10
+        calls_changed = old.get("calls") != new.get("calls")
+        if drifted or calls_changed:
+            why = []
+            if drifted:
+                why.append("wall-time share drifted > 10pp")
+            if calls_changed:
+                why.append("call count changed")
+            print(f"[gate] WARNING {line} ({'; '.join(why)}; not gated)")
+        else:
+            print(f"[gate] {line} (not gated)")
+
+
+def scenario_cells(section: dict) -> dict:
+    return {
+        (cell["machine"], cell["workload_family"], cell["backend"]): cell
+        for cell in section.get("cells", [])
+    }
+
+
+def check_scenarios(old_section, new_section, errors: list) -> None:
+    """Gate the scenario-matrix sample: per-cell dp_work and digest."""
+    if old_section is None:
+        # Only the committed report may legitimately predate the sweep.
+        print("[gate] committed report predates the scenario sweep; skipping")
+        return
+    if new_section is None:
+        errors.append(
+            "fresh report is missing the 'scenarios' sweep the committed report "
+            "has (bench_report.py no longer sampling the scenario matrix?)"
+        )
+        return
+    if old_section.get("config") != new_section.get("config"):
+        errors.append(
+            "scenario sweep configuration differs (not comparable):\n"
+            f"  committed: {old_section.get('config')}\n"
+            f"  fresh:     {new_section.get('config')}"
+        )
+        return
+    old_cells, new_cells = scenario_cells(old_section), scenario_cells(new_section)
+    if set(old_cells) != set(new_cells):
+        errors.append(f"scenario cell sets differ: {sorted(old_cells)} vs {sorted(new_cells)}")
+        return
+    changed = 0
+    for key in sorted(old_cells):
+        old, new = old_cells[key], new_cells[key]
+        for field in ("dp_work", "schedule_digest"):
+            if old.get(field) != new.get(field):
+                changed += 1
+                errors.append(
+                    f"scenario {key}: {field} changed: "
+                    f"{old.get(field)!r} -> {new.get(field)!r}"
+                )
+    if not changed:
+        print(
+            f"[gate] scenario sweep: {len(new_cells)} cells "
+            "(dp_work + digests) match the committed report"
+        )
 
 
 def main() -> int:
@@ -125,12 +216,12 @@ def main() -> int:
                             f"backend {backend} / {name}: {key} changed: "
                             f"{old.get(key)!r} -> {new.get(key)!r}"
                         )
-        stage_timings = new_backends.get("vcs", {}).get("stage_timings", {})
-        for stage, entry in stage_timings.items():
-            print(
-                f"[gate] vcs stage {stage}: {entry.get('wall_time_s', 0):.2f}s "
-                f"over {entry.get('calls', 0)} calls (not gated)"
-            )
+        report_stage_drift(
+            committed.get("backends", {}).get("vcs", {}).get("stage_timings", {}),
+            new_backends.get("vcs", {}).get("stage_timings", {}),
+        )
+
+    check_scenarios(committed.get("scenarios"), fresh.get("scenarios"), errors)
 
     runner = fresh.get("parallel", {})
     if runner.get("schedules_identical_serial_vs_parallel") is not True:

@@ -41,9 +41,15 @@ from repro.analysis.experiments import (
     run_backend_records,
     run_compile_time_experiment,
     run_cross_input_experiment,
+    run_scenario_matrix,
     run_speedup_records,
 )
-from repro.machine import paper_configurations
+from repro.machine import (
+    all_machine_specs,
+    machine_families,
+    machine_family,
+    paper_configurations,
+)
 from repro.runner import BatchScheduler, fingerprint_digest
 from repro.scheduler import (
     BackendSpec,
@@ -55,9 +61,16 @@ from repro.scheduler import (
     resolve_stage_order,
 )
 from repro.scheduler.registry import SCHEDULER_ENV_VAR, VCS_ENV_PREFIX
-from repro.workloads import all_profiles, build_suite, profile_by_name
+from repro.workloads import (
+    all_profiles,
+    build_suite,
+    build_workload_families,
+    profile_by_name,
+    workload_families,
+    workload_family,
+)
 
-EXPERIMENTS = ("speedup", "compile-time", "cross-input", "backends")
+EXPERIMENTS = ("speedup", "compile-time", "cross-input", "backends", "matrix")
 #: Backends swept by the ``backends`` experiment: everything registered,
 #: with the CARS baseline first (same source of truth as --list-schedulers,
 #: so newly registered backends join the sweep automatically).
@@ -93,7 +106,17 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--list-machines",
         action="store_true",
-        help="list the known machine configurations and exit",
+        help="list the known machine configurations (every family's specs) and exit",
+    )
+    parser.add_argument(
+        "--list-machine-families",
+        action="store_true",
+        help="list the registered machine families and exit",
+    )
+    parser.add_argument(
+        "--list-workload-families",
+        action="store_true",
+        help="list the registered workload families and exit",
     )
     parser.add_argument(
         "--suite",
@@ -111,7 +134,26 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--machines",
         nargs="+",
         metavar="NAME",
-        help="machine configuration names (default: the paper's three)",
+        help="machine configuration names from any family "
+        "(default: the paper's three)",
+    )
+    parser.add_argument(
+        "--machine-family",
+        nargs="+",
+        metavar="NAME",
+        dest="machine_families",
+        help="machine families: the figure experiments run on every machine "
+        "of the selected families, and the matrix experiment sweeps them "
+        "(default: paper)",
+    )
+    parser.add_argument(
+        "--workload-family",
+        nargs="+",
+        metavar="NAME",
+        dest="workload_families",
+        help="workload families: the figure experiments run every profile of "
+        "the selected families, and the matrix experiment sweeps them "
+        "(default: the --suite selection; matrix default: kernels)",
     )
     parser.add_argument(
         "--blocks",
@@ -162,15 +204,57 @@ def select_profiles(args: argparse.Namespace):
     return profiles
 
 
-def select_machines(args: argparse.Namespace):
-    machines = paper_configurations()
-    if not args.machines:
-        return machines
-    by_name = {m.name: m for m in machines}
+def select_workload_families(names):
+    """Resolve workload family names (non-zero exit on unknown ones)."""
     try:
-        return [by_name[name] for name in args.machines]
+        return [workload_family(name) for name in names]
     except KeyError as exc:
-        raise SystemExit(f"unknown machine {exc.args[0]!r}; known: {sorted(by_name)}") from None
+        raise SystemExit(exc.args[0]) from None
+
+
+def select_machine_families(names):
+    """Resolve machine family names (non-zero exit on unknown ones)."""
+    try:
+        return [machine_family(name) for name in names]
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+
+
+def build_workloads(args: argparse.Namespace):
+    """The workload populations the figure experiments run on.
+
+    ``--workload-family`` builds the selected families (any registered
+    family, parametric or paper); otherwise the ``--suite``/
+    ``--benchmarks`` profile selection is generated as before."""
+    if args.workload_families:
+        try:
+            pairs = build_workload_families(args.workload_families, args.blocks)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(exc.args[0]) from None
+        return [workload for _, workload in pairs]
+    return build_suite(select_profiles(args), blocks_per_benchmark=args.blocks)
+
+
+def select_machines(args: argparse.Namespace):
+    if args.machines:
+        specs = all_machine_specs()
+        missing = [name for name in args.machines if name not in specs]
+        if missing:
+            raise SystemExit(
+                f"unknown machine(s) {missing}; known: {sorted(specs)} "
+                "(see --list-machines)"
+            )
+        return [specs[name].to_machine() for name in args.machines]
+    if args.machine_families:
+        machines = []
+        seen = set()
+        for family in select_machine_families(args.machine_families):
+            for machine in family.machines():
+                if machine.name not in seen:
+                    seen.add(machine.name)
+                    machines.append(machine)
+        return machines
+    return paper_configurations()
 
 
 def select_scheduler(args: argparse.Namespace) -> str:
@@ -219,13 +303,26 @@ def list_schedulers() -> int:
 
 
 def list_machines() -> int:
-    print("known machine configurations:")
-    for machine in paper_configurations():
-        print(
-            f"  {machine.name:16s} {machine.n_clusters} clusters, "
-            f"bus latency {machine.bus.latency}"
-            f"{'' if machine.bus.pipelined else ' (non-pipelined)'}"
-        )
+    print("known machine configurations (by family):")
+    for family in machine_families():
+        print(f"{family.name}: {family.description}")
+        for spec in family.specs:
+            print(f"  {spec.name:16s} {spec.describe()}")
+    return 0
+
+
+def list_machine_families() -> int:
+    print("registered machine families:")
+    for family in machine_families():
+        print(f"  {family.name:16s} {len(family.specs):2d} machines  {family.description}")
+    return 0
+
+
+def list_workload_families() -> int:
+    print("registered workload families:")
+    for family in workload_families():
+        count = len(family.benchmark_names)
+        print(f"  {family.name:12s} {count:2d} workloads  {family.description}")
     return 0
 
 
@@ -258,6 +355,10 @@ def main(argv=None) -> int:
         return list_schedulers()
     if args.list_machines:
         return list_machines()
+    if args.list_machine_families:
+        return list_machine_families()
+    if args.list_workload_families:
+        return list_workload_families()
     scheduler = select_scheduler(args)
     vcs_config = build_vcs_config(args)
     # Explicit --budget wins over the REPRO_VCS_WORK_BUDGET override the
@@ -268,16 +369,30 @@ def main(argv=None) -> int:
         budget = vcs_config.work_budget
     else:
         budget = 60_000
-    profiles = select_profiles(args)
     machines = select_machines(args)
     runner = BatchScheduler(jobs=args.jobs, chunk_size=args.chunk_size, timeout=args.timeout)
     experiments = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    # The matrix sweeps whole families; the figure experiments a flat
+    # workload x machine selection.
+    matrix_machine_families = args.machine_families or ["paper"]
+    matrix_workload_families = args.workload_families or ["kernels"]
+    if "matrix" in experiments:
+        select_machine_families(matrix_machine_families)
+        select_workload_families(matrix_workload_families)
 
-    suite = build_suite(profiles, blocks_per_benchmark=args.blocks)
+    # The figure-suite population is only generated when a figure
+    # experiment will schedule it; a matrix-only run describes its
+    # workloads in the results["matrix"] section instead.
+    figure_experiments = tuple(name for name in experiments if name != "matrix")
+    suite = build_workloads(args) if figure_experiments else []
     n_blocks = sum(w.n_blocks for w in suite)
     # Jobs per (block, machine): the backend sweep schedules every
-    # registered backend, the figure experiments a (baseline, proposed) pair.
+    # registered backend, the figure experiments a (baseline, proposed)
+    # pair.  The matrix enumerates its own cross product and reports it
+    # when it runs.
     def experiment_jobs(name: str) -> int:
+        if name == "matrix":
+            return 0
         per_block = len(BACKEND_SWEEP) if name == "backends" else 2
         return per_block * n_blocks * len(machines)
 
@@ -292,7 +407,7 @@ def main(argv=None) -> int:
 
     results: dict = {
         "workload": {
-            "benchmarks": [p.name for p in profiles],
+            "benchmarks": [w.name for w in suite],
             "blocks_per_benchmark": args.blocks,
             "machines": [m.name for m in machines],
             "work_budget": budget,
@@ -423,6 +538,41 @@ def main(argv=None) -> int:
         results["cross_input"] = {
             name: [comparison_row(c) for c in rows] for name, rows in grouped.items()
         }
+
+    if "matrix" in experiments:
+        backends = ("cars", scheduler) if scheduler != "cars" else ("cars",)
+        cells, _records = run_scenario_matrix(
+            matrix_machine_families,
+            matrix_workload_families,
+            backends=backends,
+            blocks_per_benchmark=args.blocks,
+            work_budget=budget,
+            vcs_config=vcs_config,
+            runner=runner,
+        )
+        results["matrix"] = {
+            "machine_families": list(matrix_machine_families),
+            "workload_families": list(matrix_workload_families),
+            "backends": list(backends),
+            "cells": [cell.as_row() for cell in cells],
+        }
+        if not args.quiet:
+            print(
+                f"\n=== scenario matrix | {len(cells)} cells "
+                f"({'+'.join(matrix_machine_families)} x "
+                f"{'+'.join(matrix_workload_families)} x {'+'.join(backends)}) ==="
+            )
+            header = (
+                f"{'machine':18s} {'workloads':12s} {'backend':8s} "
+                f"{'blocks':>6s} {'dp_work':>10s} {'cycles':>12s} {'fb':>3s}"
+            )
+            print(header)
+            for cell in cells:
+                print(
+                    f"{cell.machine:18s} {cell.workload_family:12s} "
+                    f"{cell.backend:8s} {cell.n_blocks:6d} {cell.dp_work:10d} "
+                    f"{cell.total_cycles:12.0f} {cell.fallback_blocks:3d}"
+                )
 
     wall = time.perf_counter() - t0
     report = {

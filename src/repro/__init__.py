@@ -35,8 +35,18 @@ from repro.ir import (
 from repro.machine import (
     ClusteredMachine,
     ClusterConfig,
+    ClusterSpec,
     BusConfig,
+    InterconnectConfig,
+    RingConfig,
+    PointToPointConfig,
     FuKind,
+    MachineFamily,
+    MachineSpec,
+    all_machine_specs,
+    machine_by_name,
+    machine_families,
+    machine_family,
     paper_2c_8i_1lat,
     paper_4c_16i_1lat,
     paper_4c_16i_2lat,
@@ -75,11 +85,15 @@ from repro.workloads import (
     SuperblockGenerator,
     GeneratorConfig,
     BenchmarkProfile,
+    WorkloadFamily,
     build_benchmark,
+    build_family,
     build_suite,
     train_variant,
     all_profiles,
     profile_by_name,
+    workload_families,
+    workload_family,
     paper_figure1_block,
     fir_kernel,
     dot_product_kernel,
@@ -94,6 +108,8 @@ from repro.analysis import (
     collect_effort,
     format_speedup_series,
     format_compile_time_table,
+    ScenarioCell,
+    run_scenario_matrix,
 )
 from repro.runner import (
     BatchScheduler,
@@ -119,8 +135,18 @@ __all__ = [
     # machine
     "ClusteredMachine",
     "ClusterConfig",
+    "ClusterSpec",
     "BusConfig",
+    "InterconnectConfig",
+    "RingConfig",
+    "PointToPointConfig",
     "FuKind",
+    "MachineFamily",
+    "MachineSpec",
+    "all_machine_specs",
+    "machine_by_name",
+    "machine_families",
+    "machine_family",
     "paper_2c_8i_1lat",
     "paper_4c_16i_1lat",
     "paper_4c_16i_2lat",
@@ -158,7 +184,11 @@ __all__ = [
     "SuperblockGenerator",
     "GeneratorConfig",
     "BenchmarkProfile",
+    "WorkloadFamily",
+    "workload_families",
+    "workload_family",
     "build_benchmark",
+    "build_family",
     "build_suite",
     "train_variant",
     "all_profiles",
@@ -176,6 +206,8 @@ __all__ = [
     "collect_effort",
     "format_speedup_series",
     "format_compile_time_table",
+    "ScenarioCell",
+    "run_scenario_matrix",
     # parallel runner
     "BatchScheduler",
     "BatchError",

@@ -27,8 +27,14 @@ from repro.analysis.report import (
     format_speedup_series,
     format_compile_time_table,
 )
+from repro.analysis.experiments import (
+    ScenarioCell,
+    run_scenario_matrix,
+)
 
 __all__ = [
+    "ScenarioCell",
+    "run_scenario_matrix",
     "BlockComparison",
     "BenchmarkComparison",
     "compare_block",

@@ -31,15 +31,18 @@ from repro.analysis.metrics import (
     compare_block,
     evaluate_benchmark,
 )
+from repro.machine.families import machine_family
 from repro.machine.machine import ClusteredMachine
 from repro.runner import (
     SCHEDULER_KINDS,
     BatchScheduler,
     enumerate_workload_jobs,
+    fingerprint_digest,
     run_schedule_job,
 )
 from repro.scheduler.schedule import ScheduleResult
 from repro.scheduler.vcs import VcsConfig
+from repro.workloads.families import build_workload_families
 from repro.workloads.suite import BenchmarkWorkload, train_variant
 
 
@@ -381,6 +384,113 @@ def run_backend_comparison(
         runner=runner,
     )
     return backend_comparisons(records, baseline=baseline)
+
+
+# --------------------------------------------------------------------------- #
+# the scenario matrix: (machine family x workload family x backend)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScenarioCell:
+    """Deterministic summary of one (machine, workload family, backend)
+    cell of the scenario matrix.
+
+    ``schedule_digest`` and ``dp_work`` are the byte-identity keys the CI
+    perf-regression gate records for the gated scenario sample."""
+
+    machine_family: str
+    machine: str
+    workload_family: str
+    backend: str
+    n_blocks: int
+    dp_work: int
+    schedule_digest: str
+    total_cycles: float
+    fallback_blocks: int
+
+    def as_row(self) -> dict:
+        return {
+            "machine_family": self.machine_family,
+            "machine": self.machine,
+            "workload_family": self.workload_family,
+            "backend": self.backend,
+            "n_blocks": self.n_blocks,
+            "dp_work": self.dp_work,
+            "schedule_digest": self.schedule_digest,
+            "total_cycles": self.total_cycles,
+            "fallback_blocks": self.fallback_blocks,
+        }
+
+
+def run_scenario_matrix(
+    machine_families: Sequence[str],
+    workload_families: Sequence[str],
+    backends: Sequence[str] = ("vcs",),
+    blocks_per_benchmark: Optional[int] = None,
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+    runner: Optional[BatchScheduler] = None,
+) -> Tuple[List[ScenarioCell], List[BackendRecord]]:
+    """Schedule the full (machine family x workload family x backend)
+    cross product as one flat sharded batch.
+
+    Families are named (see :mod:`repro.machine.families` and
+    :mod:`repro.workloads.families`), so a whole sweep is reproducible
+    from its name lists alone.  Returns one :class:`ScenarioCell` per
+    (machine, workload family, backend) — digesting every schedule of the
+    family's workloads on that machine — plus the underlying per-workload
+    :class:`BackendRecord` list for finer-grained analysis.  Cells follow
+    the canonical enumeration order (machine families outer, workload
+    families, then backends), and a parallel run is byte-identical to a
+    serial one like every other driver.
+    """
+    machines: List[Tuple[str, ClusteredMachine]] = []
+    seen_machines: Dict[str, str] = {}
+    for family_name in machine_families:
+        for machine in machine_family(family_name).machines():
+            if machine.name in seen_machines:
+                continue  # families may share identically-named specs
+            seen_machines[machine.name] = family_name
+            machines.append((family_name, machine))
+    workloads = build_workload_families(workload_families, blocks_per_benchmark)
+
+    records = run_backend_records(
+        [workload for _, workload in workloads],
+        [machine for _, machine in machines],
+        tuple(backends),
+        work_budget=work_budget,
+        vcs_config=vcs_config,
+        check_schedules=check_schedules,
+        runner=runner,
+    )
+
+    workload_to_family = {workload.name: name for name, workload in workloads}
+    grouped: Dict[Tuple[str, str, str], List[BackendRecord]] = {}
+    for record in records:
+        key = (
+            record.machine.name,
+            workload_to_family[record.workload.name],
+            record.backend,
+        )
+        grouped.setdefault(key, []).append(record)
+
+    cells: List[ScenarioCell] = []
+    for (machine_name, wf_name, backend), group in grouped.items():
+        results = [result for record in group for result in record.results]
+        cells.append(
+            ScenarioCell(
+                machine_family=seen_machines[machine_name],
+                machine=machine_name,
+                workload_family=wf_name,
+                backend=backend,
+                n_blocks=len(results),
+                dp_work=sum(result.work for result in results),
+                schedule_digest=fingerprint_digest(result.fingerprint() for result in results),
+                total_cycles=sum(result.total_cycles for result in results if result.ok),
+                fallback_blocks=sum(1 for result in results if result.fallback_used),
+            )
+        )
+    return cells, records
 
 
 def run_compile_time_experiment(

@@ -122,10 +122,10 @@ class CommunicationLinkRule(Rule):
                 )
         if comm.consumer is not None:
             out += state.set_estart(
-                comm.consumer, state.estart[comm_id] + state.bus_latency
+                comm.consumer, state.estart[comm_id] + state.copy_latency
             )
             if state.lstart[comm.consumer] != INFINITY:
                 out += state.set_lstart(
-                    comm_id, int(state.lstart[comm.consumer]) - state.bus_latency
+                    comm_id, int(state.lstart[comm.consumer]) - state.copy_latency
                 )
         return out

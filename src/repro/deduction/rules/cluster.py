@@ -44,7 +44,7 @@ class CommunicationSlackRule(Rule):
         ] + [
             (e.src, e.dst) for e in graph.predecessors(op_id) if e.is_register_edge
         ]
-        bus = state.bus_latency
+        bus = state.copy_latency
         for producer, consumer in edges:
             if state.same_vc(producer, consumer):
                 continue
@@ -81,7 +81,7 @@ class CommunicationTimingRule(Rule):
         if not state.has_op(op_id):
             return []
         out: List[Change] = []
-        bus = state.bus_latency
+        bus = state.copy_latency
 
         if state.is_comm(op_id):
             # Rule 3: the communication's estart moved; late consumers of the

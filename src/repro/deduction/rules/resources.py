@@ -175,13 +175,14 @@ class FixedCycleResourceRule(Rule):
     def _check_bus(self, state: SchedulingState, cycle: int) -> List[Change]:
         out: List[Change] = []
         machine = state.machine
-        if machine.bus.count == 0:
+        channels = machine.channel_count
+        if channels == 0:
             if state.comm_ids:
-                raise Contradiction("communications exist but the machine has no bus")
+                raise Contradiction("communications exist but the machine has no interconnect")
             return out
-        occupancy = machine.bus.occupancy
+        occupancy = machine.copy_occupancy
         fixed_comms = [c for c in state.comm_ids if state.is_fixed(c)]
-        # A transfer fixed at cycle t occupies the bus during
+        # A transfer fixed at cycle t occupies its channel during
         # [t, t + occupancy - 1]; a change at `cycle` can create contention in
         # any cycle its own occupancy window touches.
         for probe in range(cycle - occupancy + 1, cycle + occupancy):
@@ -190,12 +191,12 @@ class FixedCycleResourceRule(Rule):
                 start = state.estart[comm]
                 if start <= probe <= start + occupancy - 1:
                     busy += 1
-            if busy > machine.bus.count:
+            if busy > channels:
                 raise Contradiction(
-                    f"{busy} communications occupy the bus in cycle {probe}, "
-                    f"only {machine.bus.count} available"
+                    f"{busy} communications occupy the interconnect in cycle {probe}, "
+                    f"only {channels} channel(s) available"
                 )
-            if busy == machine.bus.count:
+            if busy == channels:
                 for comm in state.comm_ids:
                     if state.is_fixed(comm):
                         continue
@@ -235,14 +236,15 @@ class ClassWindowPressureRule(Rule):
             low = min(estart[i] for i in members)
             high = max(int(lstart[i]) for i in members)
             window = high - low + 1
-            # A transfer on a non-pipelined bus holds it for several cycles,
-            # so each copy consumes `occupancy` bus-cycles; the usable bus
-            # cycles extend `occupancy - 1` past the last possible start.
+            # A transfer on a non-pipelined interconnect holds its channel
+            # for several cycles, so each copy consumes `occupancy`
+            # channel-cycles; the usable channel cycles extend
+            # `occupancy - 1` past the last possible start.
             demand = len(members)
             slots = window
             if op_class is OpClass.COPY:
-                demand *= machine.bus.occupancy
-                slots += machine.bus.occupancy - 1
+                demand *= machine.copy_occupancy
+                slots += machine.copy_occupancy - 1
             if demand > capacity * slots:
                 raise Contradiction(
                     f"{len(members)} {op_class} operations must issue within "

@@ -570,8 +570,13 @@ class SchedulingState:
     # communications
     # ------------------------------------------------------------------ #
     @property
-    def bus_latency(self) -> int:
-        return self.machine.bus.latency
+    def copy_latency(self) -> int:
+        """The machine's modelled inter-cluster copy latency (uniform for
+        every topology — see :mod:`repro.machine.interconnect`)."""
+        return self.machine.copy_latency
+
+    #: Historical alias from the bus-only interconnect model.
+    bus_latency = copy_latency
 
     def flc_for_value(self, value: str) -> Optional[Communication]:
         comm_id = self._value_flc.get(value)
@@ -591,23 +596,23 @@ class SchedulingState:
                 # consumer simply reads the communicated copy, so only the
                 # timing edge is added.
                 trail.append_to_list(
-                    self._comm_edges, (existing, consumer, self.bus_latency)
+                    self._comm_edges, (existing, consumer, self.copy_latency)
                 )
                 changes += self.set_estart(
-                    consumer, self.estart[existing] + self.bus_latency
+                    consumer, self.estart[existing] + self.copy_latency
                 )
             return changes
 
         comm_id = self._new_comm_id()
         comm = Communication(comm_id=comm_id, value=value, producer=producer, consumer=consumer)
         self.comms.add(comm)
-        self._register_comm_op(comm_id, make_copy(comm_id, value, latency=self.bus_latency))
+        self._register_comm_op(comm_id, make_copy(comm_id, value, latency=self.copy_latency))
         trail.set_item(self._value_flc, value, comm_id)
         trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
-        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.bus_latency))
+        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.copy_latency))
 
         earliest = self.estart[producer] + self.latency(producer)
-        latest = self.lstart[consumer] - self.bus_latency
+        latest = self.lstart[consumer] - self.copy_latency
         if latest < earliest:
             raise Contradiction(
                 f"no room for communication of {value!r} between {producer} and {consumer}"
@@ -648,14 +653,14 @@ class SchedulingState:
         )
         self.comms.add(comm)
         self._register_comm_op(
-            comm_id, make_copy(comm_id, value or f"plc{comm_id}", latency=self.bus_latency)
+            comm_id, make_copy(comm_id, value or f"plc{comm_id}", latency=self.copy_latency)
         )
 
         earliest = min(
             self.estart[p] + self.latency(p) for p in comm.possible_producers()
         )
         latest = max(
-            self.lstart[c] - self.bus_latency for c in comm.possible_consumers()
+            self.lstart[c] - self.copy_latency for c in comm.possible_consumers()
         )
         if latest < earliest:
             raise Contradiction(
@@ -686,10 +691,10 @@ class SchedulingState:
         trail = self.trail
         trail.set_item(self._value_flc, value, comm_id)
         trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
-        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.bus_latency))
+        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.copy_latency))
         changes: List[Change] = [CommResolved(comm_id)]
         changes += self.set_estart(comm_id, self.estart[producer] + self.latency(producer))
-        changes += self.set_lstart(comm_id, int(self.lstart[consumer]) - self.bus_latency
+        changes += self.set_lstart(comm_id, int(self.lstart[consumer]) - self.copy_latency
                                    if self.lstart[consumer] != INFINITY else self.lstart[comm_id])
         return changes
 

@@ -1,16 +1,35 @@
 """Clustered VLIW machine model.
 
 The model follows Section 2.1 of the paper: a statically scheduled machine
-partitioned into homogeneous clusters, each with its own register file and
-functional units; clusters exchange register values through explicit copy
-operations over a small number of shared buses; the memory hierarchy is
-centralised.
+partitioned into clusters, each with its own register file and functional
+units; clusters exchange register values through explicit copy operations
+over an inter-cluster interconnect (the paper's shared buses, plus ring and
+point-to-point generalisations); the memory hierarchy is centralised.
+
+Machines come from three layers: :class:`ClusteredMachine` is what the
+schedulers consume, :class:`MachineSpec` is the declarative, serialisable
+description, and :mod:`repro.machine.families` enumerates named spec
+families (the scenario matrix's machine axis).
 """
 
 from repro.machine.resources import FuKind, fu_kind_for
 from repro.machine.cluster import ClusterConfig
-from repro.machine.interconnect import BusConfig
+from repro.machine.interconnect import (
+    TOPOLOGIES,
+    BusConfig,
+    InterconnectConfig,
+    PointToPointConfig,
+    RingConfig,
+)
 from repro.machine.machine import ClusteredMachine
+from repro.machine.spec import ClusterSpec, MachineSpec
+from repro.machine.families import (
+    MachineFamily,
+    all_machine_specs,
+    machine_by_name,
+    machine_families,
+    machine_family,
+)
 from repro.machine.presets import (
     paper_2c_8i_1lat,
     paper_4c_16i_1lat,
@@ -25,8 +44,19 @@ __all__ = [
     "FuKind",
     "fu_kind_for",
     "ClusterConfig",
+    "TOPOLOGIES",
     "BusConfig",
+    "InterconnectConfig",
+    "RingConfig",
+    "PointToPointConfig",
     "ClusteredMachine",
+    "ClusterSpec",
+    "MachineSpec",
+    "MachineFamily",
+    "machine_families",
+    "machine_family",
+    "all_machine_specs",
+    "machine_by_name",
     "paper_2c_8i_1lat",
     "paper_4c_16i_1lat",
     "paper_4c_16i_2lat",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.machine.resources import FuKind
 
@@ -20,10 +20,15 @@ class ClusterConfig:
     issue_width:
         Maximum number of operations the cluster can issue per cycle.  When
         omitted it defaults to the total number of functional units.
+    n_registers:
+        Size of the cluster's register file, or None for an unconstrained
+        file (the paper's setting).  When set, the correctness checker
+        bounds the number of simultaneously live values in the cluster.
     """
 
     fu_counts: Mapping[FuKind, int]
     issue_width: int = 0
+    n_registers: Optional[int] = None
 
     def __post_init__(self) -> None:
         counts = dict(self.fu_counts)
@@ -35,6 +40,8 @@ class ClusterConfig:
             object.__setattr__(self, "issue_width", sum(counts.values()))
         if self.issue_width <= 0:
             raise ValueError("cluster has no issue capacity")
+        if self.n_registers is not None and self.n_registers < 1:
+            raise ValueError("a register-file constraint needs at least one register")
 
     def fu_count(self, kind: FuKind) -> int:
         """Number of functional units of *kind* in this cluster."""
@@ -48,11 +55,16 @@ class ClusterConfig:
         return self.fu_count(kind) > 0
 
     @staticmethod
-    def uniform(count_per_kind: int = 1, issue_width: int = 0) -> "ClusterConfig":
+    def uniform(
+        count_per_kind: int = 1,
+        issue_width: int = 0,
+        n_registers: Optional[int] = None,
+    ) -> "ClusterConfig":
         """A cluster with *count_per_kind* units of every kind."""
         return ClusterConfig(
             fu_counts={kind: count_per_kind for kind in FuKind},
             issue_width=issue_width,
+            n_registers=n_registers,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,44 +1,128 @@
-"""Inter-cluster interconnect (register buses)."""
+"""Inter-cluster interconnect models.
+
+The paper's evaluation uses a small number of shared register buses; the
+scenario matrix generalises that to a family of interconnect *topologies*
+sharing one abstract contention model.  Every topology is reduced to three
+scalars for a given cluster count — an effective copy latency, a per-transfer
+channel occupancy and a number of concurrently usable channels — so every
+scheduler, deduction rule and the correctness checker consume the same
+model through :class:`repro.machine.machine.ClusteredMachine` and stay
+topology-agnostic:
+
+* ``bus`` — ``count`` shared broadcast buses; a transfer takes ``latency``
+  cycles and (when non-pipelined) holds its bus for the whole transfer.
+  This is exactly the paper's interconnect.
+* ``ring`` — a bidirectional ring with ``count`` channels per link and a
+  per-hop latency of ``latency``.  The model is conservative and uniform:
+  every transfer is charged the worst-case hop distance (``n_clusters //
+  2``), and the channel pool is the single-link capacity, so any schedule
+  valid under the model is valid for every placement of the transfer.
+* ``p2p`` — a non-blocking point-to-point fabric (full crossbar) with
+  direct single-hop links: latency is ``latency`` regardless of distance
+  and up to ``count * n_clusters`` transfers may be in flight machine-wide
+  (``count`` slots contributed per cluster).  Unlike the ring model this
+  reduction is optimistic, not conservative: per-cluster port contention
+  is *not* modelled — the cap is a single machine-wide pool, so a
+  schedule may concentrate more simultaneous copies in one cluster than
+  a ``count``-port implementation would allow.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: The topologies the scenario matrix enumerates.
+TOPOLOGIES = ("bus", "ring", "p2p")
+
 
 @dataclass(frozen=True)
-class BusConfig:
-    """A set of identical buses used by inter-cluster copy operations.
+class InterconnectConfig:
+    """One inter-cluster interconnect.
 
     Parameters
     ----------
+    topology:
+        One of :data:`TOPOLOGIES`.
     count:
-        Number of buses; at most this many copies can *start* (pipelined) or
-        be *in flight* (non-pipelined) per cycle.
+        Channel multiplicity: number of buses (``bus``), channels per link
+        (``ring``) or machine-wide transfer slots per cluster (``p2p``;
+        pooled, not per-port — see the module docstring).
     latency:
-        Cycles between issuing the copy and the value being available in the
-        destination register file.
+        Cycles per hop between issuing a copy and the value being available
+        in the destination register file (single-hop for ``bus``/``p2p``,
+        per-link for ``ring``).
     pipelined:
-        Whether a new transfer may start on a bus every cycle.  The paper's
-        4-cluster / 2-cycle configuration explicitly uses a non-pipelined
-        bus ("the bus is not a pipelined resource"), so a 2-cycle copy holds
-        the bus for both cycles.
+        Whether a new transfer may start on a channel every cycle.  The
+        paper's 4-cluster / 2-cycle configuration explicitly uses a
+        non-pipelined bus ("the bus is not a pipelined resource"), so a
+        2-cycle copy holds the bus for both cycles.
     """
 
+    topology: str = "bus"
     count: int = 1
     latency: int = 1
     pipelined: bool = True
 
     def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown interconnect topology {self.topology!r}; "
+                f"known: {', '.join(TOPOLOGIES)}"
+            )
         if self.count < 0:
-            raise ValueError("bus count must be non-negative")
+            raise ValueError("channel count must be non-negative")
         if self.latency < 1:
-            raise ValueError("bus latency must be at least one cycle")
+            raise ValueError("interconnect latency must be at least one cycle")
+
+    # ------------------------------------------------------------------ #
+    # the abstract contention model
+    # ------------------------------------------------------------------ #
+    def hop_count(self, n_clusters: int) -> int:
+        """Worst-case number of links a transfer traverses."""
+        if self.topology == "ring":
+            return max(1, n_clusters // 2)
+        return 1
+
+    def effective_latency(self, n_clusters: int) -> int:
+        """Cycles every transfer is modelled to take on this machine."""
+        return self.latency * self.hop_count(n_clusters)
+
+    def effective_occupancy(self, n_clusters: int) -> int:
+        """Cycles one transfer keeps its channel busy on this machine."""
+        return 1 if self.pipelined else self.effective_latency(n_clusters)
+
+    def channel_count(self, n_clusters: int) -> int:
+        """Transfers that may occupy the interconnect simultaneously."""
+        if self.topology == "p2p":
+            return self.count * n_clusters
+        return self.count
 
     @property
     def occupancy(self) -> int:
-        """Number of cycles one transfer keeps a bus busy."""
+        """Single-hop occupancy (cluster-count independent)."""
         return 1 if self.pipelined else self.latency
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         pipe = "pipelined" if self.pipelined else "non-pipelined"
-        return f"Bus(count={self.count}, latency={self.latency}, {pipe})"
+        return (
+            f"Interconnect({self.topology}, count={self.count}, "
+            f"latency={self.latency}, {pipe})"
+        )
+
+
+def BusConfig(count: int = 1, latency: int = 1, pipelined: bool = True) -> InterconnectConfig:
+    """A set of identical shared buses (the paper's interconnect)."""
+    return InterconnectConfig("bus", count, latency, pipelined)
+
+
+def RingConfig(count: int = 1, latency: int = 1, pipelined: bool = True) -> InterconnectConfig:
+    """A bidirectional ring with *count* channels per link."""
+    return InterconnectConfig("ring", count, latency, pipelined)
+
+
+def PointToPointConfig(
+    count: int = 1, latency: int = 1, pipelined: bool = True
+) -> InterconnectConfig:
+    """A non-blocking point-to-point fabric (pooled machine-wide capacity
+    of ``count * n_clusters``; per-cluster ports are not modelled)."""
+    return InterconnectConfig("p2p", count, latency, pipelined)

@@ -7,7 +7,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.ir.operation import OpClass, Operation
 from repro.machine.cluster import ClusterConfig
-from repro.machine.interconnect import BusConfig
+from repro.machine.interconnect import InterconnectConfig
 from repro.machine.resources import fu_kind_for
 
 
@@ -22,16 +22,18 @@ class ClusteredMachine:
     clusters:
         One :class:`ClusterConfig` per physical cluster.
     bus:
-        The inter-cluster interconnect.  Irrelevant for single-cluster
-        machines.
+        The inter-cluster interconnect (any
+        :class:`~repro.machine.interconnect.InterconnectConfig` topology;
+        the field keeps its historical name from the bus-only model).
+        Irrelevant for single-cluster machines.
     copies_use_issue:
         When True an inter-cluster copy also consumes an issue slot in the
-        source cluster; by default copies only occupy a bus.
+        source cluster; by default copies only occupy a channel.
     """
 
     name: str
     clusters: Tuple[ClusterConfig, ...]
-    bus: BusConfig = BusConfig()
+    bus: InterconnectConfig = InterconnectConfig()
     copies_use_issue: bool = False
 
     def __post_init__(self) -> None:
@@ -65,9 +67,28 @@ class ClusteredMachine:
     def is_homogeneous(self) -> bool:
         return all(c == self.clusters[0] for c in self.clusters)
 
+    # ------------------------------------------------------------------ #
+    # the interconnect, reduced to the abstract contention model
+    # ------------------------------------------------------------------ #
+    @property
+    def interconnect(self) -> InterconnectConfig:
+        """The inter-cluster interconnect (alias of the ``bus`` field)."""
+        return self.bus
+
     @property
     def copy_latency(self) -> int:
-        return self.bus.latency
+        """Cycles every inter-cluster copy takes on this machine."""
+        return self.bus.effective_latency(self.n_clusters)
+
+    @property
+    def copy_occupancy(self) -> int:
+        """Cycles one copy keeps its interconnect channel busy."""
+        return self.bus.effective_occupancy(self.n_clusters)
+
+    @property
+    def channel_count(self) -> int:
+        """Copies that may occupy the interconnect simultaneously."""
+        return self.bus.channel_count(self.n_clusters)
 
     # ------------------------------------------------------------------ #
     # per-operation capacity queries
@@ -83,28 +104,28 @@ class ClusteredMachine:
         """Units able to execute *op_class* summed over all clusters."""
         kind = fu_kind_for(op_class)
         if kind is None:
-            return self.bus.count
+            return self.channel_count
         return sum(c.fu_count(kind) for c in self.clusters)
 
     def per_cycle_capacity(self, op_class: OpClass) -> int:
         """Operations of *op_class* the whole machine can start per cycle.
 
         Bounded both by the functional units of the right kind and by the
-        total issue width (for copies, by the buses)."""
+        total issue width (for copies, by the interconnect channels)."""
         if op_class is OpClass.COPY:
-            return self.bus.count
+            return self.channel_count
         return min(self.total_fu_count(op_class), self.total_issue_width)
 
     def cluster_capacity(self, cluster: int, op_class: OpClass) -> int:
         """Operations of *op_class* that cluster *cluster* can start per cycle."""
         if op_class is OpClass.COPY:
-            return self.bus.count
+            return self.channel_count
         return min(self.fu_count(cluster, op_class), self.clusters[cluster].issue_width)
 
     def can_execute(self, cluster: int, op: Operation) -> bool:
         """Whether *cluster* has a functional unit for *op*."""
         if op.is_copy:
-            return self.bus.count > 0
+            return self.channel_count > 0
         return self.fu_count(cluster, op.op_class) > 0
 
     # ------------------------------------------------------------------ #

@@ -11,39 +11,34 @@ single inter-cluster bus:
 Section 5's worked example uses a reduced 2-cluster machine (one 2-cycle
 "I" unit and one 3-cycle "B" unit per cluster), and Figure 4 a single-cluster
 machine issuing two non-branch and one branch operation per cycle.
+
+Since the scenario matrix these are all *named specs* — entries of the
+``paper`` and ``examples`` machine families (:mod:`repro.machine.families`)
+— and the functions here materialise them, byte-identical to the historical
+hard-coded constructions.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.machine.cluster import ClusterConfig
-from repro.machine.interconnect import BusConfig
+from repro.machine.families import machine_family
 from repro.machine.machine import ClusteredMachine
-from repro.machine.resources import FuKind
+from repro.machine.spec import MachineSpec
 
 
-def _paper_cluster() -> ClusterConfig:
-    """One cluster as described in Section 6.1: one FU of each type."""
-    return ClusterConfig.uniform(count_per_kind=1)
+def _from_family(family: str, name: str) -> ClusteredMachine:
+    return machine_family(family).spec(name).to_machine()
 
 
 def paper_2c_8i_1lat() -> ClusteredMachine:
     """The paper's first configuration: 2 clusters, 8-issue, 1-cycle bus."""
-    return ClusteredMachine(
-        name="2clust 1b 1lat",
-        clusters=(_paper_cluster(), _paper_cluster()),
-        bus=BusConfig(count=1, latency=1, pipelined=True),
-    )
+    return _from_family("paper", "2clust 1b 1lat")
 
 
 def paper_4c_16i_1lat() -> ClusteredMachine:
     """The paper's second configuration: 4 clusters, 16-issue, 1-cycle bus."""
-    return ClusteredMachine(
-        name="4clust 1b 1lat",
-        clusters=tuple(_paper_cluster() for _ in range(4)),
-        bus=BusConfig(count=1, latency=1, pipelined=True),
-    )
+    return _from_family("paper", "4clust 1b 1lat")
 
 
 def paper_4c_16i_2lat() -> ClusteredMachine:
@@ -52,37 +47,31 @@ def paper_4c_16i_2lat() -> ClusteredMachine:
     The paper notes the bus in this configuration is not pipelined, which is
     what makes communication scheduling hard and the proposed technique's
     gains largest."""
-    return ClusteredMachine(
-        name="4clust 1b 2lat",
-        clusters=tuple(_paper_cluster() for _ in range(4)),
-        bus=BusConfig(count=1, latency=2, pipelined=False),
-    )
+    return _from_family("paper", "4clust 1b 2lat")
 
 
 def paper_configurations() -> List[ClusteredMachine]:
     """The three configurations of the evaluation, in the paper's order."""
-    return [paper_2c_8i_1lat(), paper_4c_16i_1lat(), paper_4c_16i_2lat()]
+    return machine_family("paper").machines()
 
 
 def example_2cluster() -> ClusteredMachine:
     """Section 5's example machine: 2 clusters, each issuing one INT and one
     BRANCH per cycle, connected by a single 1-cycle bus."""
-    cluster = ClusterConfig(fu_counts={FuKind.INT: 1, FuKind.BRANCH: 1}, issue_width=2)
-    return ClusteredMachine(
-        name="example 2-cluster",
-        clusters=(cluster, cluster),
-        bus=BusConfig(count=1, latency=1, pipelined=True),
-    )
+    return _from_family("examples", "example 2-cluster")
 
 
 def example_1cluster_fig4() -> ClusteredMachine:
     """Figure 4's example machine: a single cluster issuing 2 non-branch and
     1 branch operation per cycle."""
-    cluster = ClusterConfig(fu_counts={FuKind.INT: 2, FuKind.BRANCH: 1}, issue_width=3)
-    return ClusteredMachine(name="example 1-cluster", clusters=(cluster,))
+    return _from_family("examples", "example 1-cluster")
 
 
 def unified(issue_width: int = 8, fus_per_kind: int = 2) -> ClusteredMachine:
     """A non-clustered reference machine with the given total issue width."""
-    cluster = ClusterConfig.uniform(count_per_kind=fus_per_kind, issue_width=issue_width)
-    return ClusteredMachine(name=f"unified {issue_width}-issue", clusters=(cluster,))
+    return MachineSpec.uniform(
+        f"unified {issue_width}-issue",
+        n_clusters=1,
+        fus_per_kind=fus_per_kind,
+        issue_width=issue_width,
+    ).to_machine()

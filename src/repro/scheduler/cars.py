@@ -206,8 +206,8 @@ class CarsScheduler:
         if issue.get((cycle, cluster), 0) + 1 > machine.cluster(cluster).issue_width:
             return None
 
-        bus_latency = machine.bus.latency
-        occupancy = machine.bus.occupancy
+        bus_latency = machine.copy_latency
+        occupancy = machine.copy_occupancy
         planned: List[_PlannedCopy] = []
         planned_bus: Dict[int, int] = {}
 
@@ -239,7 +239,7 @@ class CarsScheduler:
             for candidate in range(ready_local, cycle - bus_latency + 1):
                 free = all(
                     bus_busy.get(candidate + k, 0) + planned_bus.get(candidate + k, 0)
-                    < machine.bus.count
+                    < machine.channel_count
                     for k in range(occupancy)
                 )
                 if free:
@@ -289,7 +289,7 @@ class CarsScheduler:
         clusters[op.op_id] = cluster
         usage[(cycle, cluster, op.op_class)] = usage.get((cycle, cluster, op.op_class), 0) + 1
         issue[(cycle, cluster)] = issue.get((cycle, cluster), 0) + 1
-        occupancy = machine.bus.occupancy
+        occupancy = machine.copy_occupancy
         for copy in copies:
             comms.append(
                 ScheduledComm(

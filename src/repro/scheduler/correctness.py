@@ -76,7 +76,7 @@ def validate_schedule(schedule: Schedule, max_errors: int = 50) -> ValidationRep
     # ------------------------------------------------------------------ #
     # dependences (including inter-cluster communication timing)
     # ------------------------------------------------------------------ #
-    bus_latency = machine.bus.latency
+    bus_latency = machine.copy_latency
     for edge in block.graph.edges():
         src_cycle = schedule.cycles[edge.src]
         dst_cycle = schedule.cycles[edge.dst]
@@ -149,16 +149,103 @@ def validate_schedule(schedule: Schedule, max_errors: int = 50) -> ValidationRep
             )
 
     # ------------------------------------------------------------------ #
-    # bus occupancy
+    # interconnect occupancy
     # ------------------------------------------------------------------ #
     if schedule.comms:
-        occupancy = machine.bus.occupancy
+        occupancy = machine.copy_occupancy
+        channels = machine.channel_count
         last_cycle = max(c.cycle for c in schedule.comms) + occupancy
         for cycle in range(last_cycle + 1):
             busy = sum(1 for c in schedule.comms if c.occupies(cycle, occupancy))
-            if busy > machine.bus.count:
+            if busy > channels:
+                note(f"cycle {cycle}: {busy} transfers on {channels} channel(s)")
+
+    # ------------------------------------------------------------------ #
+    # register-file pressure (only for machines that constrain it)
+    # ------------------------------------------------------------------ #
+    if any(c.n_registers is not None for c in machine.clusters):
+        for cluster, live in _peak_live_values(schedule).items():
+            limit = machine.cluster(cluster).n_registers
+            if limit is not None and live > limit:
                 note(
-                    f"cycle {cycle}: {busy} transfers on {machine.bus.count} bus(es)"
+                    f"cluster {cluster}: {live} values live at once, register "
+                    f"file holds {limit}"
                 )
 
     return report
+
+
+def _peak_live_values(schedule: Schedule) -> Dict[int, int]:
+    """Peak number of simultaneously live values per cluster.
+
+    A value is live in a cluster from the cycle it becomes available there
+    — its producing operation completing, the delivering copy arriving, or
+    cycle 0 for block live-ins — until its last local read: the latest
+    same-cluster consumer issue, or the issue cycle of a copy reading it
+    out of the cluster.  Live-out values stay live until the schedule's
+    last cycle.  This over-approximates neither re-use nor
+    rematerialisation — it is the demand a register allocator would face.
+    """
+    block, machine = schedule.block, schedule.machine
+    length = schedule.length
+    # (cluster, value) -> [first_live_cycle, last_live_cycle]
+    ranges: Dict[Tuple[int, str], List[int]] = {}
+
+    def extend(cluster: int, value: str, start: int, end: int) -> None:
+        slot = ranges.setdefault((cluster, value), [start, end])
+        slot[0] = min(slot[0], start)
+        slot[1] = max(slot[1], end)
+
+    # A copy reads its value from the source cluster's register file when it
+    # issues, and delivers it to the destination's.
+    copy_reads: Dict[Tuple[int, str], int] = {}
+    for comm in schedule.comms:
+        key = (comm.src_cluster, comm.value)
+        copy_reads[key] = max(copy_reads.get(key, -1), comm.cycle)
+
+    def last_local_use(cluster: int, value: str, available: int) -> int:
+        end = available
+        if value in block.live_outs:
+            end = length
+        for consumer in block.graph.consumers_of(value):
+            if schedule.clusters[consumer] == cluster:
+                end = max(end, schedule.cycles[consumer])
+        return max(end, copy_reads.get((cluster, value), end))
+
+    for op in block.operations:
+        cluster = schedule.clusters[op.op_id]
+        ready = schedule.cycles[op.op_id] + op.latency
+        for value in op.dests:
+            extend(cluster, value, ready, last_local_use(cluster, value, ready))
+    # Block live-ins occupy a register from cycle 0 in every cluster that
+    # reads them directly (our model gives each consuming cluster its own
+    # incoming copy of the value).
+    produced = {value for op in block.operations for value in op.dests}
+    for op in block.operations:
+        for edge in block.graph.predecessors(op.op_id):
+            if not edge.is_register_edge or edge.value in produced:
+                continue
+            cluster = schedule.clusters[op.op_id]
+            extend(cluster, edge.value, 0, last_local_use(cluster, edge.value, 0))
+    for comm in schedule.comms:
+        if comm.dst_cluster is None:
+            continue
+        arrival = comm.cycle + machine.copy_latency
+        end = arrival
+        for consumer in block.graph.consumers_of(comm.value):
+            if schedule.clusters[consumer] == comm.dst_cluster:
+                end = max(end, schedule.cycles[consumer])
+        extend(comm.dst_cluster, comm.value, arrival, end)
+
+    peak: Dict[int, int] = {c: 0 for c in machine.cluster_ids}
+    events: Dict[int, Dict[int, int]] = {c: {} for c in machine.cluster_ids}
+    for (cluster, _value), (start, end) in ranges.items():
+        per_cluster = events[cluster]
+        per_cluster[start] = per_cluster.get(start, 0) + 1
+        per_cluster[end + 1] = per_cluster.get(end + 1, 0) - 1
+    for cluster, per_cluster in events.items():
+        live = 0
+        for cycle in sorted(per_cluster):
+            live += per_cluster[cycle]
+            peak[cluster] = max(peak[cluster], live)
+    return peak

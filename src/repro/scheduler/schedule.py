@@ -61,7 +61,7 @@ class Schedule:
         for op_id, cycle in self.cycles.items():
             last = max(last, cycle + self.block.op(op_id).latency)
         for comm in self.comms:
-            last = max(last, comm.cycle + self.machine.bus.latency)
+            last = max(last, comm.cycle + self.machine.copy_latency)
         return last
 
     @property

@@ -33,8 +33,22 @@ from repro.workloads.kernels import (
     paper_figure1_block,
     all_kernels,
 )
+from repro.workloads.families import (
+    WorkloadFamily,
+    build_family,
+    build_workload_families,
+    workload_families,
+    workload_family,
+    workload_family_names,
+)
 
 __all__ = [
+    "WorkloadFamily",
+    "workload_families",
+    "workload_family",
+    "workload_family_names",
+    "build_family",
+    "build_workload_families",
     "GeneratorConfig",
     "SuperblockGenerator",
     "BenchmarkProfile",

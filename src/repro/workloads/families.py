@@ -1,0 +1,245 @@
+"""Named workload families: the workload axis of the scenario matrix.
+
+A :class:`WorkloadFamily` is a named set of generator profiles swept
+together — the workload-side counterpart of
+:mod:`repro.machine.families`.  The paper's 14-application population is
+the ``paper`` family (with ``specint``/``mediabench`` subsets); the
+parametric families stress one structural dimension each, built as
+:class:`~repro.workloads.synth.GeneratorConfig` grids:
+
+* ``ilp-sweep`` — available ILP from serial chains to very wide blocks;
+* ``membound`` — memory-dominated blocks with slow loads;
+* ``fpheavy`` — floating-point-heavy, long-latency arithmetic;
+* ``longchain`` — long dependence chains (deep, narrow graphs);
+* ``exitdense`` — branchy blocks with frequent, likely side exits;
+* ``kernels`` — the hand-written kernels as one fixed workload.
+
+Every family builds deterministic :class:`~repro.workloads.suite.
+BenchmarkWorkload` populations, so any (machine-family x workload-family)
+cell of the matrix is reproducible from its names alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.workloads.kernels import all_kernels
+from repro.workloads.profiles import (
+    MEDIABENCH_PROFILES,
+    SPECINT_PROFILES,
+    BenchmarkProfile,
+    all_profiles,
+)
+from repro.workloads.suite import BenchmarkWorkload, build_benchmark
+from repro.workloads.synth import GeneratorConfig
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A named set of benchmark profiles swept together.
+
+    ``builder`` overrides profile-based generation for families whose
+    blocks are not synthesised (the hand-written kernels)."""
+
+    name: str
+    description: str
+    profiles: Tuple[BenchmarkProfile, ...] = ()
+    builder: Optional[Callable[[Optional[int]], List[BenchmarkWorkload]]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.profiles and self.builder is None:
+            raise ValueError(f"workload family {self.name!r} has no profiles")
+
+    @property
+    def benchmark_names(self) -> List[str]:
+        if self.builder is not None:
+            return [workload.name for workload in self.builder(None)]
+        return [profile.name for profile in self.profiles]
+
+    def build(self, blocks_per_benchmark: Optional[int] = None) -> List[BenchmarkWorkload]:
+        """Generate the family's workloads (deterministic in its names)."""
+        if self.builder is not None:
+            return self.builder(blocks_per_benchmark)
+        return [build_benchmark(p, blocks_per_benchmark) for p in self.profiles]
+
+
+# --------------------------------------------------------------------------- #
+# parametric profile grids
+# --------------------------------------------------------------------------- #
+def _family_profile(name: str, seed: int, **overrides) -> BenchmarkProfile:
+    base = dict(
+        min_ops=8,
+        max_ops=24,
+        ilp=2.5,
+        mem_fraction=0.25,
+        fp_fraction=0.05,
+        exit_every=8,
+        exit_probability=0.12,
+        execution_count_mean=200.0,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(
+        name=name, suite="family", generator=GeneratorConfig(**base), seed=seed
+    )
+
+
+def _ilp_sweep() -> Tuple[BenchmarkProfile, ...]:
+    return tuple(
+        _family_profile(f"ilp-{ilp:.1f}", seed=31 + index, ilp=ilp)
+        for index, ilp in enumerate((1.2, 2.0, 3.5, 6.0))
+    )
+
+
+def _membound() -> Tuple[BenchmarkProfile, ...]:
+    return (
+        _family_profile("mem-50", seed=41, mem_fraction=0.50, mem_latency=4),
+        _family_profile("mem-65", seed=42, mem_fraction=0.65, mem_latency=4),
+        _family_profile("mem-50-slow", seed=43, mem_fraction=0.50, mem_latency=6, ilp=3.0),
+    )
+
+
+def _fpheavy() -> Tuple[BenchmarkProfile, ...]:
+    return (
+        _family_profile("fp-30", seed=51, fp_fraction=0.30, fp_latency=4),
+        _family_profile("fp-45", seed=52, fp_fraction=0.45, fp_latency=4, ilp=3.5),
+        _family_profile("fp-30-slow", seed=53, fp_fraction=0.30, fp_latency=6, max_ops=28),
+    )
+
+
+def _longchain() -> Tuple[BenchmarkProfile, ...]:
+    return (
+        _family_profile("chain-24", seed=61, ilp=1.0, min_ops=16, max_ops=24),
+        _family_profile("chain-40", seed=62, ilp=1.0, min_ops=28, max_ops=40),
+        _family_profile("chain-32-mem", seed=63, ilp=1.2, min_ops=20, max_ops=32, mem_fraction=0.4),
+    )
+
+
+def _exitdense() -> Tuple[BenchmarkProfile, ...]:
+    return (
+        _family_profile("exits-3", seed=71, exit_every=3, exit_probability=0.2, max_ops=18),
+        _family_profile("exits-2", seed=72, exit_every=2, exit_probability=0.25, max_ops=14),
+        _family_profile("exits-3-wide", seed=73, exit_every=3, exit_probability=0.2, ilp=4.0),
+    )
+
+
+def _build_kernels(blocks_per_benchmark: Optional[int]) -> List[BenchmarkWorkload]:
+    """The hand-written kernels as one fixed workload.
+
+    ``blocks_per_benchmark`` truncates the kernel list (the kernels are
+    fixed blocks, not a generator population)."""
+    blocks = list(all_kernels().values())
+    if blocks_per_benchmark is not None:
+        blocks = blocks[: max(1, blocks_per_benchmark)]
+    profile = BenchmarkProfile(
+        name="kernels",
+        suite="family",
+        generator=GeneratorConfig(),
+        n_blocks=len(blocks),
+    )
+    return [BenchmarkWorkload(profile=profile, blocks=blocks)]
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+def workload_families() -> List[WorkloadFamily]:
+    """Every registered workload family, in presentation order."""
+    return [
+        WorkloadFamily(
+            name="paper",
+            description="the paper's 14 SpecInt95 + MediaBench applications",
+            profiles=tuple(all_profiles()),
+        ),
+        WorkloadFamily(
+            name="specint",
+            description="the 7 SpecInt95 applications",
+            profiles=tuple(SPECINT_PROFILES),
+        ),
+        WorkloadFamily(
+            name="mediabench",
+            description="the 7 MediaBench applications",
+            profiles=tuple(MEDIABENCH_PROFILES),
+        ),
+        WorkloadFamily(
+            name="ilp-sweep",
+            description="available ILP swept from serial (1.2) to wide (6.0)",
+            profiles=_ilp_sweep(),
+        ),
+        WorkloadFamily(
+            name="membound",
+            description="memory-bound blocks (50-65% memory ops, slow loads)",
+            profiles=_membound(),
+        ),
+        WorkloadFamily(
+            name="fpheavy",
+            description="floating-point-heavy blocks with long FP latencies",
+            profiles=_fpheavy(),
+        ),
+        WorkloadFamily(
+            name="longchain",
+            description="long dependence chains (deep, narrow graphs)",
+            profiles=_longchain(),
+        ),
+        WorkloadFamily(
+            name="exitdense",
+            description="branchy blocks with frequent, likely side exits",
+            profiles=_exitdense(),
+        ),
+        WorkloadFamily(
+            name="kernels",
+            description="the hand-written kernels (fig1, fir, dot, dct, strsearch)",
+            builder=_build_kernels,
+        ),
+    ]
+
+
+def workload_family(name: str) -> WorkloadFamily:
+    """Look one family up by name (KeyError with the known names)."""
+    for family in workload_families():
+        if family.name == name:
+            return family
+    known = [family.name for family in workload_families()]
+    raise KeyError(f"unknown workload family {name!r}; known: {known}")
+
+
+def build_family(
+    name: str, blocks_per_benchmark: Optional[int] = None
+) -> List[BenchmarkWorkload]:
+    """Build a family's workloads by name."""
+    return workload_family(name).build(blocks_per_benchmark)
+
+
+def build_workload_families(
+    names, blocks_per_benchmark: Optional[int] = None
+) -> List[Tuple[str, BenchmarkWorkload]]:
+    """Build several families as one flat ``(family name, workload)`` list.
+
+    Benchmark names must be unique across the selected families (the
+    ``paper`` family contains ``specint``/``mediabench``, so selecting an
+    overlap would silently double-schedule); a ValueError names the
+    colliding workload and both families."""
+    pairs: List[Tuple[str, BenchmarkWorkload]] = []
+    seen: Dict[str, str] = {}
+    for name in names:
+        family = workload_family(name)
+        for workload in family.build(blocks_per_benchmark):
+            if workload.name in seen:
+                raise ValueError(
+                    f"workload {workload.name!r} appears in both "
+                    f"{seen[workload.name]!r} and {family.name!r}; "
+                    "select non-overlapping workload families"
+                )
+            seen[workload.name] = family.name
+            pairs.append((family.name, workload))
+    return pairs
+
+
+def workload_family_names() -> List[str]:
+    return [family.name for family in workload_families()]
+
+
+def family_index() -> Dict[str, WorkloadFamily]:
+    return {family.name: family for family in workload_families()}

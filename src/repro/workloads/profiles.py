@@ -27,13 +27,13 @@ class BenchmarkProfile:
     """Generation profile of one application."""
 
     name: str
-    suite: str  # "specint" or "mediabench"
+    suite: str  # "specint", "mediabench" or "family" (parametric families)
     generator: GeneratorConfig
     n_blocks: int = 20
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.suite not in ("specint", "mediabench"):
+        if self.suite not in ("specint", "mediabench", "family"):
             raise ValueError(f"unknown suite {self.suite!r}")
         if self.n_blocks <= 0:
             raise ValueError("a benchmark needs at least one block")

@@ -156,13 +156,13 @@ class TestValidation:
         schedule.comms.append(ScheduledComm(value="x", producer=0, cycle=2, src_cluster=0))
         schedule.comms.append(ScheduledComm(value="y", producer=0, cycle=3, src_cluster=0))
         report = validate_schedule(schedule)
-        assert any("bus" in error for error in report.errors)
+        assert any("channel" in error for error in report.errors)
 
     def test_pipelined_bus_allows_back_to_back_copies(self):
         schedule = _chain_schedule(paper_2c_8i_1lat())
         schedule.comms.append(ScheduledComm(value="x", producer=0, cycle=2, src_cluster=0))
         schedule.comms.append(ScheduledComm(value="y", producer=0, cycle=3, src_cluster=0))
-        assert not any("bus" in e for e in validate_schedule(schedule).errors)
+        assert not any("channel" in e for e in validate_schedule(schedule).errors)
 
     def test_negative_cycle_detected(self):
         schedule = _chain_schedule()
