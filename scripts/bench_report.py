@@ -7,8 +7,10 @@ seeded synthetic workload, and records for each configuration and probing
 mode (trail vs legacy copy):
 
 * wall time and schedules/second,
-* deterministic DP work (deduction rule firings),
-* trail counters (probes, rollbacks, redos, copies avoided),
+* deterministic DP work (deduction rule firings), including the per-rule-
+  class split (``dp_rule_<RuleName>`` counters),
+* trail counters (probes, rollbacks, redos, copies avoided), probe-cache
+  hit/miss counters and propagation-queue push/coalesce counters,
 * total AWCT (quality invariance check),
 * a SHA-256 digest of every produced schedule (the byte-identity key the
   CI perf-regression gate compares).
@@ -295,6 +297,45 @@ def measure_scenarios() -> dict:
     }
 
 
+def deduction_counters(report: dict) -> dict:
+    """Aggregate the deduction-layer counters of one driver report.
+
+    Sums the per-machine ``stats`` and splits them into the per-rule-class
+    ``dp_work`` breakdown, the probe-cache hit rate and the propagation-
+    queue coalesce rate.  Reported in the summary (and compared by the
+    perf gate as non-gating warnings); the gated totals stay ``dp_work``
+    and the schedule digests."""
+    totals: dict = {}
+    for machine in report["machines"]:
+        for key, value in machine.get("stats", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    prefix = "dp_rule_"
+    by_rule = {
+        key.removeprefix(prefix): value
+        for key, value in sorted(totals.items())
+        if key.startswith(prefix)
+    }
+    hits = totals.get("probe_cache_hits", 0)
+    misses = totals.get("probe_cache_misses", 0)
+    pushed = totals.get("queue_pushed", 0)
+    coalesced = totals.get("queue_coalesced", 0)
+    return {
+        "dp_work_by_rule": by_rule,
+        "probe_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else None,
+        },
+        "queue": {
+            "pushed": pushed,
+            "coalesced": coalesced,
+            "coalesce_rate": (
+                coalesced / (pushed + coalesced) if pushed + coalesced else None
+            ),
+        },
+    }
+
+
 def digest_fingerprints(report: dict) -> dict:
     """Replace each machine's raw fingerprint list with its SHA-256 digest.
 
@@ -407,6 +448,7 @@ def main() -> int:
         },
         "backends": backends,
         "scenarios": scenarios,
+        "deduction": deduction_counters(trail),
     }
     if baseline is not None:
         base_wall = total_wall(baseline)
@@ -437,6 +479,20 @@ def main() -> int:
         m["stats"].get("copies_avoided", 0) for m in trail["machines"]
     )
     print(f"[bench] copies avoided by the trail: {copies_avoided}")
+    deduction = summary["deduction"]
+    cache, queue = deduction["probe_cache"], deduction["queue"]
+    hit_rate = cache["hit_rate"]
+    coalesce_rate = queue["coalesce_rate"]
+    print(
+        f"[bench] probe cache: {cache['hits']} hits / {cache['misses']} misses"
+        + (f" ({hit_rate:.1%})" if hit_rate is not None else "")
+        + f" | queue: {queue['pushed']} pushed, {queue['coalesced']} coalesced"
+        + (f" ({coalesce_rate:.1%})" if coalesce_rate is not None else "")
+    )
+    top_rules = sorted(deduction["dp_work_by_rule"].items(), key=lambda item: -item[1])[:4]
+    if top_rules:
+        split = " | ".join(f"{name} {count}" for name, count in top_rules)
+        print(f"[bench] dp_work by rule (top): {split}")
     for name, entry in backends.items():
         wall = sum(m["wall_time_s"] for m in entry["machines"])
         work = sum(m["dp_work"] for m in entry["machines"])

@@ -23,7 +23,11 @@ Gated (the job fails on any mismatch):
 
 Reported but NOT gated: wall times, throughput and the per-decision-stage
 timing breakdown (host dependent).  Per-stage timing drift against the
-committed report is surfaced as a warning section.
+committed report is surfaced as a warning section, as is drift in the
+deduction-layer counters (per-rule-class ``dp_work`` split, probe-cache
+hit rate, propagation-queue coalesce rate): those are deterministic, but a
+shift with an unchanged total usually means a rule or probing-policy
+change worth a look, not a regression.
 
 Usage::
 
@@ -89,6 +93,33 @@ def report_stage_drift(old_stages: dict, new_stages: dict) -> None:
             print(f"[gate] WARNING {line} ({'; '.join(why)}; not gated)")
         else:
             print(f"[gate] {line} (not gated)")
+
+
+def report_deduction_drift(old_section, new_section) -> None:
+    """Deduction-counter drift vs the committed report (warnings only).
+
+    Compares the per-rule-class ``dp_work`` split and the probe-cache /
+    queue rates.  Never gated: the gated ``dp_work`` totals and digests
+    already pin behaviour; this surfaces *where* inside the deduction the
+    effort moved when they legitimately change."""
+    if not new_section:
+        return
+    if not old_section:
+        print("[gate] committed report predates the deduction counters; not compared")
+        return
+    old_rules = old_section.get("dp_work_by_rule", {})
+    new_rules = new_section.get("dp_work_by_rule", {})
+    for rule in sorted(set(old_rules) | set(new_rules)):
+        old, new = old_rules.get(rule, 0), new_rules.get(rule, 0)
+        if old != new:
+            print(f"[gate] WARNING deduction rule {rule}: dp_work {old} -> {new} (not gated)")
+    for key, label in (("probe_cache", "hit_rate"), ("queue", "coalesce_rate")):
+        old = (old_section.get(key) or {}).get(label)
+        new = (new_section.get(key) or {}).get(label)
+        if old != new:
+            old_text = f"{old:.3f}" if isinstance(old, float) else str(old)
+            new_text = f"{new:.3f}" if isinstance(new, float) else str(new)
+            print(f"[gate] WARNING deduction {key} {label}: {old_text} -> {new_text} (not gated)")
 
 
 def scenario_cells(section: dict) -> dict:
@@ -222,6 +253,7 @@ def main() -> int:
         )
 
     check_scenarios(committed.get("scenarios"), fresh.get("scenarios"), errors)
+    report_deduction_drift(committed.get("deduction"), fresh.get("deduction"))
 
     runner = fresh.get("parallel", {})
     if runner.get("schedules_identical_serial_vs_parallel") is not True:

@@ -33,6 +33,7 @@ from repro.deduction.consequence import (
     ScheduleInCycle,
     SetExitDeadlines,
 )
+from repro.deduction.queue import QUEUE_MODES, make_queue, new_queue_stats
 from repro.deduction.rules import default_rules
 from repro.deduction.rules.base import Rule
 from repro.deduction.state import SchedulingState
@@ -55,6 +56,19 @@ class WorkBudget:
             raise BudgetExhausted(
                 f"work budget of {self.limit} units exhausted ({self.spent} spent)"
             )
+
+    def charge_block(self, amount: int) -> None:
+        """Charge *amount* units with the same exhaustion semantics as
+        *amount* successive one-unit :meth:`charge` calls (the probe cache
+        replays a memoized deduction's work as one block, and the recorded
+        ``spent`` must match the unit-by-unit accounting exactly)."""
+        if self.limit is None or self.spent + amount <= self.limit:
+            self.spent += amount
+            return
+        self.spent = self.limit + 1
+        raise BudgetExhausted(
+            f"work budget of {self.limit} units exhausted ({self.spent} spent)"
+        )
 
     @property
     def remaining(self) -> Optional[int]:
@@ -91,6 +105,19 @@ class DeductionProcess:
     ``rule.applies``, which preserves exact ``isinstance`` semantics and the
     rule order of the linear scan.  ``indexed_dispatch=False`` restores the
     linear scan (used by the perf harness to measure the difference).
+
+    The rule set is managed through explicit registration hooks
+    (:meth:`add_rule` / :meth:`remove_rule` / :meth:`set_rules`, or
+    assignment to :attr:`rules`), each of which invalidates the dispatch
+    table; :meth:`apply` no longer diffs the rule list on every invocation.
+    :attr:`rules` is therefore a tuple — mutating a rule list behind the
+    engine's back is impossible rather than silently absorbed.
+
+    ``queue_mode`` selects the propagation worklist (see
+    :mod:`repro.deduction.queue`): ``"fifo"`` is the paper's flat worklist
+    and the byte-identity oracle; ``"tiered"`` drains cheap bound events
+    first and coalesces identical pending changes, reaching the same fixed
+    point with fewer rule firings (``dp_work`` differs, so it is opt-in).
     """
 
     def __init__(
@@ -98,21 +125,69 @@ class DeductionProcess:
         rules: Optional[Sequence[Rule]] = None,
         max_iterations: int = 200_000,
         indexed_dispatch: bool = True,
+        queue_mode: str = "fifo",
     ) -> None:
-        self.rules: List[Rule] = list(rules) if rules is not None else default_rules()
+        if queue_mode not in QUEUE_MODES:
+            raise ValueError(
+                f"unknown queue mode {queue_mode!r}; known modes: {', '.join(QUEUE_MODES)}"
+            )
+        self._rules: Tuple[Rule, ...] = (
+            tuple(rules) if rules is not None else tuple(default_rules())
+        )
         self.max_iterations = max_iterations
         self.indexed_dispatch = indexed_dispatch
-        self._dispatch: Dict[Type[Change], List[Rule]] = {}
-        self._dispatch_source: Tuple[Rule, ...] = tuple(self.rules)
+        self.queue_mode = queue_mode
+        self._dispatch: Dict[Type[Change], List[Tuple[Rule, str]]] = {}
         #: Total number of DP invocations performed through this instance.
         self.invocations = 0
+        #: Rule firings per rule class name, accumulated across invocations
+        #: (sums to the total ``work`` this instance has performed).
+        self.work_by_rule: Dict[str, int] = {}
+        #: Worklist counters (pushes/coalesces; tiered mode only).
+        self.queue_stats: Dict[str, int] = new_queue_stats()
 
-    def _rules_for(self, change: Change) -> List[Rule]:
-        """Rules reacting to *change*, cached per concrete change type."""
+    # ------------------------------------------------------------------ #
+    # rule registration
+    # ------------------------------------------------------------------ #
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """The registered rules, in dispatch order (read-only view)."""
+        return self._rules
+
+    @rules.setter
+    def rules(self, rules: Sequence[Rule]) -> None:
+        self.set_rules(rules)
+
+    def set_rules(self, rules: Sequence[Rule]) -> None:
+        """Replace the whole rule set and invalidate the dispatch table."""
+        self._rules = tuple(rules)
+        self.invalidate_dispatch()
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register *rule* after the existing ones."""
+        self._rules = self._rules + (rule,)
+        self.invalidate_dispatch()
+
+    def remove_rule(self, rule: Rule) -> None:
+        """Unregister *rule* (identity match); missing rules are ignored."""
+        self._rules = tuple(r for r in self._rules if r is not rule)
+        self.invalidate_dispatch()
+
+    def invalidate_dispatch(self) -> None:
+        """Drop the per-change-type dispatch table (rebuilt lazily).
+
+        Called by every registration hook; call it directly after mutating
+        a registered rule's ``triggers`` in place."""
+        self._dispatch = {}
+
+    def _rules_for(self, change: Change) -> List[Tuple[Rule, str]]:
+        """``(rule, rule class name)`` pairs reacting to *change*, cached
+        per concrete change type (the name rides along so the per-rule-class
+        work split costs no attribute walk per firing)."""
         cls = change.__class__
         rules = self._dispatch.get(cls)
         if rules is None:
-            rules = [rule for rule in self.rules if rule.applies(change)]
+            rules = [(r, r.__class__.__name__) for r in self._rules if r.applies(change)]
             self._dispatch[cls] = rules
         return rules
 
@@ -137,17 +212,25 @@ class DeductionProcess:
         scheduling session.
         """
         self.invocations += 1
-        if tuple(self.rules) != self._dispatch_source:
-            # The public rule list was mutated after construction; rebuild
-            # the per-type dispatch table so no rule is silently skipped.
-            self._dispatch = {}
-            self._dispatch_source = tuple(self.rules)
         working = state if in_place else state.copy()
         consequences: List[Change] = []
         work = 0
+        work_by_rule = self.work_by_rule
+        dispatch = self._dispatch
+        indexed = self.indexed_dispatch
         try:
-            queue: Deque[Change] = deque(self._expand(working, decision))
-            consequences.extend(queue)
+            fifo = self.queue_mode == "fifo"
+            if fifo:
+                # The default worklist stays a bare deque: this loop is the
+                # hottest in the code base and the queue abstraction costs
+                # three Python calls per change event.
+                queue: Deque[Change] = deque(self._expand(working, decision))
+                consequences.extend(queue)
+            else:
+                queue = make_queue(self.queue_mode, self.queue_stats)
+                initial = self._expand(working, decision)
+                queue.push_many(initial)
+                consequences.extend(initial)
             iterations = 0
             while queue:
                 iterations += 1
@@ -155,18 +238,25 @@ class DeductionProcess:
                     raise Contradiction(
                         "deduction did not reach a fixed point (possible rule loop)"
                     )
-                change = queue.popleft()
-                if self.indexed_dispatch:
-                    rules = self._rules_for(change)
+                change = queue.popleft() if fifo else queue.pop()
+                if indexed:
+                    cls = change.__class__
+                    pairs = dispatch.get(cls)
+                    if pairs is None:
+                        pairs = self._rules_for(change)
                 else:
-                    rules = [r for r in self.rules if r.applies(change)]
-                for rule in rules:
+                    pairs = [(r, r.__class__.__name__) for r in self._rules if r.applies(change)]
+                for rule, name in pairs:
                     work += 1
+                    work_by_rule[name] = work_by_rule.get(name, 0) + 1
                     if budget is not None:
                         budget.charge()
                     produced = rule.fire(working, change)
                     if produced:
-                        queue.extend(produced)
+                        if fifo:
+                            queue.extend(produced)
+                        else:
+                            queue.push_many(produced)
                         consequences.extend(produced)
         except Contradiction as exc:
             return DeductionResult(

@@ -1,0 +1,173 @@
+"""Propagation queues of the deduction engine.
+
+The engine drains a worklist of :class:`~repro.deduction.consequence.Change`
+events.  Two draining disciplines are provided:
+
+* :class:`FifoPropagationQueue` — the paper's flat first-in-first-out
+  worklist.  This is the default and the byte-identity oracle: the CI
+  perf-regression gate pins the default configuration's deterministic
+  ``dp_work`` and schedule digests to it.
+
+* :class:`TieredPropagationQueue` — changes carry a *priority class* (tier)
+  so cheap bound-tightening events (``BoundChange``/``CycleFixed``, the
+  triggers of the :mod:`repro.deduction.rules.bounds` rules) drain before
+  combination events, which drain before the expensive cluster/resource/
+  communication events.  Pending bound events additionally *coalesce*: a
+  ``BoundChange`` for an ``(operation, side)`` that already has one waiting
+  is dropped, because every rule reads the *current* bounds from the state
+  (never the event's recorded value) — the waiting event will be processed
+  against the newer, tighter bound anyway.  A bound tightened several times
+  while queued is therefore shown to the rules once, not once per step.
+  Other change kinds are emitted at most once per value by the state
+  mutators (bounds only tighten, combination/VC sets only grow), so they
+  never coalesce.  Selected with ``VcsConfig.queue_mode="tiered"`` /
+  ``DeductionProcess(queue_mode=...)``.
+
+The deduction rules are monotonic (bounds only tighten, combination and
+incompatibility sets only grow), so both disciplines reach the same fixed
+point on the core state — the Hypothesis suite asserts this on random
+superblocks — but along different trajectories: rule-firing counts (and
+therefore ``dp_work``) differ, which is why the tiered queue is opt-in
+rather than the default.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Type
+
+from repro.deduction.consequence import (
+    BoundChange,
+    Change,
+    CombinationChosen,
+    CombinationDiscarded,
+    CommCreated,
+    CommResolved,
+    CycleFixed,
+    VCsFused,
+    VCsIncompatible,
+)
+
+#: Queue-discipline names accepted by the engine and ``VcsConfig``.
+QUEUE_MODES = ("fifo", "tiered")
+
+#: Priority class per change type: lower tiers drain first.  Bound
+#: tightening is the cheapest to process and the most likely to prune work
+#: downstream (an empty window discards combinations before their rules
+#: ever fire), so it goes first; structural cluster/communication events,
+#: whose rules scan members and register edges, go last.
+DEFAULT_TIERS: Dict[Type[Change], int] = {
+    BoundChange: 0,
+    CycleFixed: 0,
+    CombinationChosen: 1,
+    CombinationDiscarded: 1,
+    VCsFused: 2,
+    VCsIncompatible: 2,
+    CommCreated: 2,
+    CommResolved: 2,
+}
+
+#: Tier used for change types missing from the tier map.
+DEFAULT_TIER = 2
+
+
+def new_queue_stats() -> Dict[str, int]:
+    """Fresh queue counters (merged into ``ScheduleResult.stats``)."""
+    return {
+        "queue_pushed": 0,
+        "queue_coalesced": 0,
+    }
+
+
+class FifoPropagationQueue:
+    """The paper's flat FIFO worklist (the byte-identity oracle).
+
+    Keeps no counters: the engine's default path bypasses this class for a
+    bare deque anyway (see ``DeductionProcess.apply``), and the FIFO
+    discipline neither coalesces nor reorders, so there is nothing to
+    count.  The class exists so both disciplines share one interface."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: Deque[Change] = deque()
+
+    def push_many(self, changes: Iterable[Change]) -> None:
+        self._queue.extend(changes)
+
+    def pop(self) -> Change:
+        return self._queue.popleft()
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class TieredPropagationQueue:
+    """Tiered, deduplicating worklist.
+
+    ``pop`` returns the oldest pending change of the lowest non-empty
+    tier; ``push_many`` drops a ``BoundChange`` whose ``(op_id, which)``
+    already has a pending event (see the module docs for why that is
+    sound) and counts the drop in ``stats["queue_coalesced"]``.
+    """
+
+    __slots__ = ("_tiers", "_buckets", "_pending", "_stats")
+
+    def __init__(
+        self,
+        stats: Optional[Dict[str, int]] = None,
+        tiers: Optional[Dict[Type[Change], int]] = None,
+    ) -> None:
+        self._tiers = DEFAULT_TIERS if tiers is None else tiers
+        n_tiers = max(self._tiers.values(), default=0) + 1
+        n_tiers = max(n_tiers, DEFAULT_TIER + 1)
+        self._buckets: List[Deque[Change]] = [deque() for _ in range(n_tiers)]
+        #: ``(op_id, which)`` keys of the pending bound events.
+        self._pending: Set[tuple] = set()
+        self._stats = stats if stats is not None else new_queue_stats()
+
+    def push_many(self, changes: Iterable[Change]) -> None:
+        tiers = self._tiers
+        pending = self._pending
+        stats = self._stats
+        for change in changes:
+            if type(change) is BoundChange:
+                key = (change.op_id, change.which)
+                if key in pending:
+                    stats["queue_coalesced"] += 1
+                    continue
+                pending.add(key)
+            stats["queue_pushed"] += 1
+            self._buckets[tiers.get(type(change), DEFAULT_TIER)].append(change)
+
+    def pop(self) -> Change:
+        for bucket in self._buckets:
+            if bucket:
+                change = bucket.popleft()
+                if type(change) is BoundChange:
+                    self._pending.discard((change.op_id, change.which))
+                return change
+        raise IndexError("pop from an empty propagation queue")
+
+    def __bool__(self) -> bool:
+        return any(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+
+def make_queue(
+    mode: str, stats: Optional[Dict[str, int]] = None
+) -> "FifoPropagationQueue | TieredPropagationQueue":
+    """Build the propagation queue for *mode* (``"fifo"`` or ``"tiered"``).
+
+    *stats* receives the tiered discipline's push/coalesce counters; the
+    FIFO discipline keeps none (see :class:`FifoPropagationQueue`)."""
+    if mode == "fifo":
+        return FifoPropagationQueue()
+    if mode == "tiered":
+        return TieredPropagationQueue(stats)
+    raise ValueError(f"unknown queue mode {mode!r}; known modes: {', '.join(QUEUE_MODES)}")

@@ -131,7 +131,7 @@ class VCFusionResourceRule(Rule):
     def fire(self, state: SchedulingState, change: Change) -> List[Change]:
         members = state.vcg.members(change.u)
         machine = state.machine
-        per_cluster_issue = max(c.issue_width for c in machine.clusters)
+        per_cluster_issue = machine.max_cluster_issue_width
 
         # Group members by (relative placement, class) when a rigid relation
         # is known: pinned cycles and connected-component offsets.
@@ -146,9 +146,7 @@ class VCFusionResourceRule(Rule):
             fixed_total[cycle] = fixed_total.get(cycle, 0) + 1
 
         for (cycle, op_class), count in fixed_usage.items():
-            per_cluster = max(
-                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
-            )
+            per_cluster = machine.max_cluster_capacity(op_class)
             if count > per_cluster:
                 raise Contradiction(
                     f"virtual cluster holds {count} {op_class} operations in cycle "
@@ -170,10 +168,7 @@ class VCFusionResourceRule(Rule):
                     continue
                 op_a, op_b = state.op(first), state.op(second)
                 if op_a.op_class == op_b.op_class:
-                    per_cluster = max(
-                        machine.cluster_capacity(c, op_a.op_class)
-                        for c in machine.cluster_ids
-                    )
+                    per_cluster = machine.max_cluster_capacity(op_a.op_class)
                     if per_cluster < 2:
                         raise Contradiction(
                             f"operations {first} and {second} share a cycle and the "

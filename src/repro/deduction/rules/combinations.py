@@ -114,10 +114,8 @@ class ChosenCombinationClusterRule(Rule):
         machine = state.machine
         out: List[Change] = []
         same_class = op_u.op_class == op_v.op_class
-        per_cluster_class = max(
-            machine.cluster_capacity(c, op_u.op_class) for c in machine.cluster_ids
-        )
-        per_cluster_issue = max(c.issue_width for c in machine.clusters)
+        per_cluster_class = machine.max_cluster_capacity(op_u.op_class)
+        per_cluster_issue = machine.max_cluster_issue_width
         if (same_class and per_cluster_class < 2) or per_cluster_issue < 2:
             if state.same_vc(u, v):
                 raise Contradiction(

@@ -117,9 +117,7 @@ class FixedCycleResourceRule(Rule):
         for op_id in originals:
             by_class.setdefault(state.op(op_id).op_class, []).append(op_id)
         for op_class, members in by_class.items():
-            per_cluster = max(
-                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
-            )
+            per_cluster = machine.max_cluster_capacity(op_class)
             if per_cluster == 0:
                 raise Contradiction(f"no cluster can execute {op_class} operations")
             # Too many same-class operations in one cycle for the machine as
@@ -162,9 +160,7 @@ class FixedCycleResourceRule(Rule):
             key = (cycle, state.op(op_id).op_class)
             usage[key] = usage.get(key, 0) + 1
         for (cycle, op_class), count in usage.items():
-            per_cluster = max(
-                machine.cluster_capacity(c, op_class) for c in machine.cluster_ids
-            )
+            per_cluster = machine.max_cluster_capacity(op_class)
             if count > per_cluster:
                 raise Contradiction(
                     f"fused virtual cluster needs {count} {op_class} slots in cycle "

@@ -100,6 +100,15 @@ class SchedulingState:
 
         self.exit_deadlines: Dict[int, int] = {}
 
+        # Delta-maintained bound aggregates (the estart/lstart-derived
+        # quantities the candidate heuristics used to recompute from
+        # scratch on every probe).  Every bound mutator updates them with
+        # the applied delta and records the inverse delta on the trail, so
+        # :meth:`compactness` and :meth:`total_slack` are O(1) reads and
+        # rollback stays O(changes).
+        self._sum_estart_orig: int = sum(self.estart[i] for i in self._original_ids)
+        self._sum_slack: float = 0.0
+
         # Dirty-tracked candidate caches (kept coherent by the mutators and
         # restored by the trail on rollback).
         self._undecided_pairs: Set[Tuple[int, int]] = set(sgraph.pairs())
@@ -140,6 +149,15 @@ class SchedulingState:
         self._invalidate_id_caches()
         return log
 
+    def state_token(self) -> Tuple[int, int]:
+        """An epoch identifying this state's current content.
+
+        Two equal tokens from the same state instance guarantee the state
+        is byte-identical (see :meth:`repro.trail.Trail.token`); rolling
+        back to a mark restores the token the state had there.  The probe
+        memoization layer keys cached deductions on it."""
+        return self.trail.token()
+
     def redo(self, log: List[tuple]) -> None:
         """Re-apply a redo log captured at the same state this one is in."""
         self.trail.redo(log)
@@ -166,6 +184,8 @@ class SchedulingState:
         clone._value_flc = dict(self._value_flc)
         clone._next_comm_id = self._next_comm_id
         clone.exit_deadlines = dict(self.exit_deadlines)
+        clone._sum_estart_orig = self._sum_estart_orig
+        clone._sum_slack = self._sum_slack
         clone._undecided_pairs = set(self._undecided_pairs)
         clone._unfixed = set(self._unfixed)
         clone._fixed_at = {cycle: set(ops) for cycle, ops in self._fixed_at.items()}
@@ -328,7 +348,12 @@ class SchedulingState:
             raise Contradiction(
                 f"estart of {op_id} would become {value} > lstart {lstart}"
             )
-        self.trail.set_item(self.estart, op_id, value)
+        trail = self.trail
+        trail.set_item(self.estart, op_id, value)
+        if op_id not in self._comm_ops:
+            trail.set_attr(self, "_sum_estart_orig", self._sum_estart_orig + value - current)
+        if lstart != INFINITY:
+            trail.set_attr(self, "_sum_slack", self._sum_slack - (value - current))
         changes: List[Change] = [BoundChange(op_id, "estart", value)]
         if lstart == value:
             self._mark_fixed(op_id, value)
@@ -344,7 +369,12 @@ class SchedulingState:
             raise Contradiction(
                 f"lstart of {op_id} would become {value} < estart {estart}"
             )
-        self.trail.set_item(self.lstart, op_id, value)
+        trail = self.trail
+        trail.set_item(self.lstart, op_id, value)
+        if current == INFINITY:
+            trail.set_attr(self, "_sum_slack", self._sum_slack + (value - estart))
+        else:
+            trail.set_attr(self, "_sum_slack", self._sum_slack - (current - value))
         changes: List[Change] = [BoundChange(op_id, "lstart", value)]
         if estart == value:
             self._mark_fixed(op_id, value)
@@ -619,6 +649,8 @@ class SchedulingState:
             )
         trail.set_item(self.estart, comm_id, earliest)
         trail.set_item(self.lstart, comm_id, latest)
+        if latest != INFINITY:
+            trail.set_attr(self, "_sum_slack", self._sum_slack + (latest - earliest))
         changes = [CommCreated(comm_id)]
         if earliest == latest:
             self._mark_fixed(comm_id, earliest)
@@ -668,6 +700,8 @@ class SchedulingState:
             )
         trail.set_item(self.estart, comm_id, earliest)
         trail.set_item(self.lstart, comm_id, latest)
+        if latest != INFINITY:
+            trail.set_attr(self, "_sum_slack", self._sum_slack + (latest - earliest))
         changes = [CommCreated(comm_id)]
         if earliest == latest:
             self._mark_fixed(comm_id, earliest)
@@ -744,6 +778,9 @@ class SchedulingState:
         trail.del_item(self._comm_ops, comm_id)
         trail.del_item(self._ops, comm_id)
         trail.del_item(self._latency, comm_id)
+        lstart = self.lstart.get(comm_id, INFINITY)
+        if lstart != INFINITY:
+            trail.set_attr(self, "_sum_slack", self._sum_slack - (lstart - self.estart[comm_id]))
         trail.del_item(self.estart, comm_id)
         trail.del_item(self.lstart, comm_id)
         remaining_edges = [
@@ -796,9 +833,11 @@ class SchedulingState:
         return len(self.comms)
 
     def compactness(self) -> float:
-        """Sum of estarts: smaller means the code is packed earlier."""
-        estart = self.estart
-        return float(sum(estart[i] for i in self._original_ids))
+        """Sum of original-operation estarts: smaller packs the code earlier.
+
+        Delta-maintained by the bound mutators (an O(1) read); equals
+        ``sum(self.estart[i] for i in self.original_ids)`` exactly."""
+        return float(self._sum_estart_orig)
 
     def outedge_vc_ratio(self) -> float:
         n_vcs = self.vcg.n_vcs
@@ -807,13 +846,12 @@ class SchedulingState:
         return len(self.outedges()) / n_vcs
 
     def total_slack(self) -> float:
-        estart, lstart = self.estart, self.lstart
-        finite = [
-            lstart[i] - estart[i]
-            for i in self.all_ids
-            if lstart[i] != INFINITY
-        ]
-        return float(sum(finite))
+        """Sum of finite ``lstart - estart`` windows over all live operations.
+
+        Delta-maintained by the bound mutators (an O(1) read); every term
+        is integral, so the incremental float sum is exact and equals the
+        full recomputation byte for byte."""
+        return float(self._sum_slack)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         fixed = sum(1 for i in self.all_ids if self.is_fixed(i))

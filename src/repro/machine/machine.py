@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 from repro.ir.operation import OpClass, Operation
@@ -59,9 +60,14 @@ class ClusteredMachine:
     def cluster_ids(self) -> List[int]:
         return list(range(self.n_clusters))
 
-    @property
+    @cached_property
     def total_issue_width(self) -> int:
         return sum(c.issue_width for c in self.clusters)
+
+    @cached_property
+    def max_cluster_issue_width(self) -> int:
+        """The widest single cluster's issue width."""
+        return max(c.issue_width for c in self.clusters)
 
     @property
     def is_homogeneous(self) -> bool:
@@ -75,17 +81,17 @@ class ClusteredMachine:
         """The inter-cluster interconnect (alias of the ``bus`` field)."""
         return self.bus
 
-    @property
+    @cached_property
     def copy_latency(self) -> int:
         """Cycles every inter-cluster copy takes on this machine."""
         return self.bus.effective_latency(self.n_clusters)
 
-    @property
+    @cached_property
     def copy_occupancy(self) -> int:
         """Cycles one copy keeps its interconnect channel busy."""
         return self.bus.effective_occupancy(self.n_clusters)
 
-    @property
+    @cached_property
     def channel_count(self) -> int:
         """Copies that may occupy the interconnect simultaneously."""
         return self.bus.channel_count(self.n_clusters)
@@ -107,20 +113,59 @@ class ClusteredMachine:
             return self.channel_count
         return sum(c.fu_count(kind) for c in self.clusters)
 
+    @cached_property
+    def _per_cycle_capacity(self) -> Dict[OpClass, int]:
+        """Machine-wide per-class capacity table (the machine is frozen, so
+        the derivation runs once instead of on every deduction-rule firing)."""
+        table: Dict[OpClass, int] = {}
+        for op_class in OpClass:
+            if op_class is OpClass.COPY:
+                table[op_class] = self.channel_count
+            else:
+                table[op_class] = min(self.total_fu_count(op_class), self.total_issue_width)
+        return table
+
+    @cached_property
+    def _cluster_capacity(self) -> Dict[Tuple[int, OpClass], int]:
+        """Per-(cluster, class) capacity table, derived once."""
+        table: Dict[Tuple[int, OpClass], int] = {}
+        for cluster in range(self.n_clusters):
+            for op_class in OpClass:
+                if op_class is OpClass.COPY:
+                    capacity = self.channel_count
+                else:
+                    capacity = min(
+                        self.fu_count(cluster, op_class), self.clusters[cluster].issue_width
+                    )
+                table[(cluster, op_class)] = capacity
+        return table
+
+    @cached_property
+    def _max_cluster_capacity(self) -> Dict[OpClass, int]:
+        """Per-class maximum of :meth:`cluster_capacity` over all clusters."""
+        return {
+            op_class: max(
+                self._cluster_capacity[(cluster, op_class)]
+                for cluster in range(self.n_clusters)
+            )
+            for op_class in OpClass
+        }
+
     def per_cycle_capacity(self, op_class: OpClass) -> int:
         """Operations of *op_class* the whole machine can start per cycle.
 
         Bounded both by the functional units of the right kind and by the
         total issue width (for copies, by the interconnect channels)."""
-        if op_class is OpClass.COPY:
-            return self.channel_count
-        return min(self.total_fu_count(op_class), self.total_issue_width)
+        return self._per_cycle_capacity[op_class]
 
     def cluster_capacity(self, cluster: int, op_class: OpClass) -> int:
         """Operations of *op_class* that cluster *cluster* can start per cycle."""
-        if op_class is OpClass.COPY:
-            return self.channel_count
-        return min(self.fu_count(cluster, op_class), self.clusters[cluster].issue_width)
+        return self._cluster_capacity[(cluster, op_class)]
+
+    def max_cluster_capacity(self, op_class: OpClass) -> int:
+        """The best single cluster's capacity for *op_class* (the bound the
+        per-VC deduction rules compare against)."""
+        return self._max_cluster_capacity[op_class]
 
     def can_execute(self, cluster: int, op: Operation) -> bool:
         """Whether *cluster* has a functional unit for *op*."""

@@ -92,7 +92,61 @@ def new_probe_stats() -> Dict[str, int]:
         "redos": 0,
         "copies_avoided": 0,
         "trail_entries_undone": 0,
+        "probe_cache_hits": 0,
+        "probe_cache_misses": 0,
     }
+
+
+@dataclass
+class CachedDeduction:
+    """One memoized deduction outcome.
+
+    ``log`` is the redo log that replays the deduction's mutations byte for
+    byte (``None`` for contradictions, whose partial mutations are never
+    observed — every caller rolls back past them).  ``work`` is re-charged
+    to the work budget on replay with :meth:`WorkBudget.charge_block`, and
+    ``work_split`` (the per-rule-class share of ``work``) is added back to
+    the engine's ``work_by_rule``, so both the deterministic compile-effort
+    accounting and its reported breakdown are identical with and without
+    the cache."""
+
+    contradiction: Optional[str]
+    work: int
+    work_split: Dict[str, int]
+    consequences: Tuple[Change, ...]
+    log: Optional[List[tuple]]
+
+
+class ProbeCache:
+    """Memoized deductions keyed by ``(state token, decisions)``.
+
+    The token (:meth:`SchedulingState.state_token`) identifies the state's
+    exact content via its trail prefix, so invalidation is trail-aware by
+    construction: any mutation — or rollback past the keyed position
+    followed by a diverging mutation — changes the token and the entry can
+    simply never match again.  Entries bind redo logs to the one state
+    instance the cache was built for; the engine refuses other states.
+
+    The dominant repeat in practice is the minAWCT tightening loop of
+    :class:`~repro.scheduler.vcs.VirtualClusterScheduler`: exit deadlines
+    probed from the pristine state are re-applied verbatim when the
+    enumerator's first AWCT target equals the tightened bounds."""
+
+    def __init__(self, state: SchedulingState, max_entries: int = 4096) -> None:
+        self.state = state
+        self.max_entries = max_entries
+        self._entries: Dict[tuple, CachedDeduction] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[CachedDeduction]:
+        return self._entries.get(key)
+
+    def put(self, key: tuple, entry: CachedDeduction) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = entry
 
 
 class ProbeEngine:
@@ -109,10 +163,19 @@ class ProbeEngine:
         self.config = config
         self.stats = stats if stats is not None else new_probe_stats()
         self.deadline: Optional[float] = None
+        self._cache: Optional[ProbeCache] = None
 
     @property
     def use_trail(self) -> bool:
         return self.config.use_trail
+
+    def attach_cache(self, state: SchedulingState) -> None:
+        """Enable probe memoization for in-place deductions on *state*.
+
+        Only meaningful in trail mode on the scheduler's shared state: the
+        cached redo logs bind to that state instance, and replays require
+        the trail tokens to be comparable."""
+        self._cache = ProbeCache(state)
 
     def check_time(self) -> None:
         if self.deadline is not None and time.perf_counter() > self.deadline:
@@ -142,6 +205,88 @@ class ProbeEngine:
                     work=work,
                 )
         return DeductionResult(state=state, consequences=consequences, work=work)
+
+    def apply_decisions(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
+        budget: Optional[WorkBudget],
+        memoize: bool = True,
+    ) -> DeductionResult:
+        """In-place application with probe memoization.
+
+        Identical to :meth:`apply_sequence` when no cache is attached (or
+        *state* is not the cache's state).  With a cache, a completed
+        deduction of the same decisions at the same state token is
+        replayed: the memoized work is charged to the budget block-wise
+        (same exhaustion semantics), successful outcomes re-apply their
+        recorded mutations through the trail's redo, and contradictions
+        return without mutating (their partial mutations are unobservable
+        — every caller rolls back past them).  Deductions aborted by
+        budget exhaustion are never memoized.
+
+        ``memoize=False`` looks up but never stores: callers whose keys
+        cannot recur (the AWCT driver applies each enumerated target once)
+        skip the capture-and-redo cost of recording a replay log."""
+        cache = self._cache
+        if cache is None or cache.state is not state:
+            return self.apply_sequence(dp, state, decisions, budget)
+        key = (state.state_token(), tuple(decisions))
+        entry = cache.get(key)
+        if entry is not None:
+            self.stats["probe_cache_hits"] += 1
+            if budget is not None and entry.work:
+                budget.charge_block(entry.work)
+            work_by_rule = dp.work_by_rule
+            for name, count in entry.work_split.items():
+                work_by_rule[name] = work_by_rule.get(name, 0) + count
+            if entry.log is not None:
+                state.redo(entry.log)
+            return DeductionResult(
+                state=state,
+                consequences=list(entry.consequences),
+                contradiction=entry.contradiction,
+                work=entry.work,
+            )
+        self.stats["probe_cache_misses"] += 1
+        if not memoize:
+            return self.apply_sequence(dp, state, decisions, budget)
+        mark = state.checkpoint()
+        split_before = dict(dp.work_by_rule)
+        result = self.apply_sequence(dp, state, decisions, budget)
+        work_split = {
+            name: count - split_before.get(name, 0)
+            for name, count in dp.work_by_rule.items()
+            if count != split_before.get(name, 0)
+        }
+        if result.ok:
+            # Capture the span and re-apply it immediately: the state ends
+            # byte-identical, and the captured log becomes the replay.
+            log = state.rollback_capture(mark)
+            state.redo(log)
+            cache.put(
+                key,
+                CachedDeduction(
+                    contradiction=None,
+                    work=result.work,
+                    work_split=work_split,
+                    consequences=tuple(result.consequences),
+                    log=log,
+                ),
+            )
+        else:
+            cache.put(
+                key,
+                CachedDeduction(
+                    contradiction=result.contradiction,
+                    work=result.work,
+                    work_split=work_split,
+                    consequences=tuple(result.consequences),
+                    log=None,
+                ),
+            )
+        return result
 
     def study(
         self,

@@ -51,6 +51,7 @@ from repro.bounds.awct import min_exit_cycles
 from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
 from repro.deduction.consequence import SetExitDeadlines
 from repro.deduction.engine import BudgetExhausted, DeductionProcess, WorkBudget
+from repro.deduction.queue import QUEUE_MODES
 from repro.deduction.rules import default_rules
 from repro.deduction.state import SchedulingState
 from repro.ir.superblock import Superblock
@@ -125,6 +126,18 @@ class VcsConfig:
     #: from a CARS pre-pass.  A tuple of pairs so the config stays
     #: picklable and comparable.
     cycle_hints: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: Propagation-queue discipline of the deduction process: ``"fifo"``
+    #: (the paper's flat worklist, the byte-identity oracle gated in CI) or
+    #: ``"tiered"`` (cheap bound events drain first, identical pending
+    #: changes coalesce — same fixed point, fewer rule firings, so
+    #: ``dp_work`` differs and the mode is opt-in).
+    queue_mode: str = "fifo"
+    #: Memoize completed in-place deductions keyed by (decision, state
+    #: epoch) and replay them — identical work accounting and byte-identical
+    #: state mutations — when the same decision is re-probed at the same
+    #: state (the minAWCT tightening loop).  Trail mode only; copy mode
+    #: ignores the flag, keeping the copy oracle cache-free.
+    probe_cache: bool = True
 
     # ------------------------------------------------------------------ #
     # serialisation (CLI / JSON / environment configuration surface)
@@ -167,6 +180,14 @@ class VcsConfig:
             if isinstance(value, str):
                 value = [pair.split(":") for pair in value.split(",") if pair.strip()]
             return tuple((int(op), int(cycle)) for op, cycle in value)
+        if key == "queue_mode":
+            text = str(value).strip().lower()
+            if text not in QUEUE_MODES:
+                raise ValueError(
+                    f"invalid queue mode {value!r} for VcsConfig.queue_mode; "
+                    f"known modes: {', '.join(QUEUE_MODES)}"
+                )
+            return text
         if key in ("work_budget", "max_awct_steps", "stage1_max_decisions", "cycle_candidates"):
             try:
                 return int(value)
@@ -244,7 +265,10 @@ class VirtualClusterScheduler:
         engine = ProbeEngine(self.config, self.stats)
         if self.config.time_limit is not None:
             engine.deadline = start + self.config.time_limit
-        dp = DeductionProcess(rules=default_rules(enable_plc=self.config.enable_plc))
+        dp = DeductionProcess(
+            rules=default_rules(enable_plc=self.config.enable_plc),
+            queue_mode=self.config.queue_mode,
+        )
         budget = WorkBudget(self.config.work_budget)
         sgraph = SchedulingGraph(block, machine)
         ctx = StageContext(
@@ -263,6 +287,8 @@ class VirtualClusterScheduler:
         if self.config.use_trail:
             shared = SchedulingState(block, machine, sgraph)
             pristine = shared.checkpoint()
+            if self.config.probe_cache:
+                engine.attach_cache(shared)
 
         steps_tried = 0
         timed_out = False
@@ -289,7 +315,7 @@ class VirtualClusterScheduler:
                     work=budget.spent,
                     wall_time=time.perf_counter() - start,
                     awct_target_steps=steps_tried,
-                    stats=dict(self.stats),
+                    stats=self._result_stats(dp),
                     stage_timings={k: dict(v) for k, v in ctx.timings.items()},
                 )
         except BudgetExhausted:
@@ -305,7 +331,7 @@ class VirtualClusterScheduler:
                 wall_time=time.perf_counter() - start,
                 timed_out=timed_out,
                 awct_target_steps=steps_tried,
-                stats=dict(self.stats),
+                stats=self._result_stats(dp),
                 stage_timings={k: dict(v) for k, v in ctx.timings.items()},
             )
         fallback = self._fallback_backend().schedule(block, machine)
@@ -319,9 +345,18 @@ class VirtualClusterScheduler:
             timed_out=timed_out,
             awct_target_steps=steps_tried,
             fallback_used=True,
-            stats=dict(self.stats),
+            stats=self._result_stats(dp),
             stage_timings={k: dict(v) for k, v in ctx.timings.items()},
         )
+
+    def _result_stats(self, dp: DeductionProcess) -> Dict[str, int]:
+        """The probe counters plus the deduction engine's per-rule-class
+        work split and worklist counters (all reported, never gated)."""
+        stats = dict(self.stats)
+        for name in sorted(dp.work_by_rule):
+            stats[f"dp_rule_{name}"] = dp.work_by_rule[name]
+        stats.update(dp.queue_stats)
+        return stats
 
     # ------------------------------------------------------------------ #
     # minAWCT tightening (Section 4.2)
@@ -342,6 +377,11 @@ class VirtualClusterScheduler:
         engine = ctx.engine
         base = min_exit_cycles(block, machine)
         tightened: Dict[int, int] = {}
+        # A tightening probe's key can only recur as the first AWCT target,
+        # and that target keys on the *full* exit mapping — so recording a
+        # replay log (capture + redo of the whole span) pays off only for
+        # single-exit blocks.  Multi-exit probes stay lookup-only.
+        memoize = len(base) == 1
         for exit_id, cycle in base.items():
             chosen = cycle
             for attempt in range(max_probe):
@@ -352,11 +392,12 @@ class VirtualClusterScheduler:
                     probe = shared
                 else:
                     probe = SchedulingState(block, machine, sgraph)
-                result = ctx.dp.apply(
+                result = engine.apply_decisions(
+                    ctx.dp,
                     probe,
-                    SetExitDeadlines.from_mapping({exit_id: chosen}),
-                    budget=ctx.budget,
-                    in_place=True,
+                    [SetExitDeadlines.from_mapping({exit_id: chosen})],
+                    ctx.budget,
+                    memoize=memoize,
                 )
                 if result.ok:
                     break
@@ -383,11 +424,16 @@ class VirtualClusterScheduler:
             ctx.engine.stats["copies_avoided"] += 1
         else:
             state = SchedulingState(block, machine, sgraph)
-        result = ctx.dp.apply(
+        result = ctx.engine.apply_decisions(
+            ctx.dp,
             state,
-            SetExitDeadlines.from_mapping(target.exit_cycles),
-            budget=ctx.budget,
-            in_place=True,
+            [SetExitDeadlines.from_mapping(target.exit_cycles)],
+            ctx.budget,
+            # Each enumerated target is applied once (the enumerator's
+            # visited set), so this deduction's key cannot recur: look up
+            # (the tightening loop may have memoized the same deadlines)
+            # but do not pay for recording a replay log.
+            memoize=False,
         )
         if not result.ok:
             return None
