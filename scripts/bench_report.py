@@ -10,7 +10,10 @@ mode (trail vs legacy copy):
 * deterministic DP work (deduction rule firings), including the per-rule-
   class split (``dp_rule_<RuleName>`` counters),
 * trail counters (probes, rollbacks, redos, copies avoided), probe-cache
-  hit/miss counters and propagation-queue push/coalesce counters,
+  hit/miss counters, candidate-pruning / early-cut counters and
+  propagation-queue push/coalesce counters, plus the share of the VCS
+  stage wall spent in the two probing stages (fix-cycles +
+  fix-communications),
 * total AWCT (quality invariance check),
 * a SHA-256 digest of every produced schedule (the byte-identity key the
   CI perf-regression gate compares).
@@ -321,6 +324,16 @@ def deduction_counters(report: dict) -> dict:
     coalesced = totals.get("queue_coalesced", 0)
     return {
         "dp_work_by_rule": by_rule,
+        "probing": {
+            "probes": totals.get("probes", 0),
+            "rollbacks": totals.get("rollbacks", 0),
+            "redos": totals.get("redos", 0),
+            # Zero at the default configuration: both knobs are opt-in.
+            # Recorded anyway so the gate can assert the block's presence
+            # and an opt-in bench run shows how much the knobs skip.
+            "candidates_pruned": totals.get("candidates_pruned", 0),
+            "early_cut_skips": totals.get("early_cut_skips", 0),
+        },
         "probe_cache": {
             "hits": hits,
             "misses": misses,
@@ -334,6 +347,61 @@ def deduction_counters(report: dict) -> dict:
             ),
         },
     }
+
+
+#: The two probing stages the fix-cycles fast path targets; their share of
+#: the VCS stage wall is the headline number PR 6 drives down.
+PROBING_STAGES = ("fix-cycles", "fix-communications")
+
+
+def fix_cycles_wall_share(stage_timings: dict) -> float | None:
+    """Fraction of the VCS per-stage wall spent in the probing stages.
+
+    Wall times are host dependent, so the share is reported (and compared
+    by the perf gate as a non-gating warning), never gated."""
+    total = sum(entry.get("wall_time_s", 0.0) for entry in stage_timings.values())
+    if not total:
+        return None
+    probing = sum(
+        stage_timings.get(stage, {}).get("wall_time_s", 0.0) for stage in PROBING_STAGES
+    )
+    return probing / total
+
+
+def profile_vcs_leg(n_synth: int, top_n: int, out_path: str) -> None:
+    """cProfile the trail-mode vcs leg in-process and write the top-N
+    functions (by cumulative and by internal time) as a text artifact.
+
+    Runs a dedicated serial pass over the bench workload — the gated
+    numbers always come from unprofiled subprocess runs, so enabling the
+    profiler cannot skew them."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.machine import paper_configurations
+    from repro.scheduler import VcsConfig, VirtualClusterScheduler
+
+    namespace: dict = {"__name__": "bench_driver"}
+    exec(compile(DRIVER, "<driver>", "exec"), namespace)
+    blocks = namespace["build_workload"](n_synth)
+    scheduler = VirtualClusterScheduler(VcsConfig(use_trail=True))
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for machine in paper_configurations():
+        for block in blocks:
+            scheduler.schedule(block, machine)
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    for sort in ("cumulative", "tottime"):
+        buffer.write(f"== vcs trail leg, top {top_n} by {sort} ==\n")
+        stats.sort_stats(sort).print_stats(top_n)
+        buffer.write("\n")
+    Path(out_path).write_text(buffer.getvalue())
+    print(f"[bench] wrote {out_path} (cProfile top {top_n}, vcs trail leg)")
 
 
 def digest_fingerprints(report: dict) -> dict:
@@ -369,6 +437,19 @@ def main() -> int:
     )
     parser.add_argument("--skip-baseline", action="store_true")
     parser.add_argument(
+        "--cprofile",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also cProfile the trail-mode vcs leg and write the top-N "
+        "functions to --cprofile-output (0 disables; nightly artifact)",
+    )
+    parser.add_argument(
+        "--cprofile-output",
+        default=str(REPO_ROOT / "BENCH_profile_vcs.txt"),
+        help="where --cprofile writes its text report",
+    )
+    parser.add_argument(
         "--jobs",
         default=None,
         help="workers for the parallel-runner measurement (default: $REPRO_JOBS or 2)",
@@ -396,6 +477,9 @@ def main() -> int:
     backends = measure_backends(args.blocks)
     print("[bench] current tree, scenario-matrix sample (ring/p2p x workload families)...")
     scenarios = measure_scenarios()
+    if args.cprofile > 0:
+        print(f"[bench] current tree, cProfile of the trail-mode vcs leg (top {args.cprofile})...")
+        profile_vcs_leg(args.blocks, args.cprofile, args.cprofile_output)
 
     baseline = None
     baseline_identical = None
@@ -448,7 +532,12 @@ def main() -> int:
         },
         "backends": backends,
         "scenarios": scenarios,
-        "deduction": deduction_counters(trail),
+        "deduction": {
+            **deduction_counters(trail),
+            "fix_cycles_wall_share": fix_cycles_wall_share(
+                backends.get("vcs", {}).get("stage_timings", {})
+            ),
+        },
     }
     if baseline is not None:
         base_wall = total_wall(baseline)
@@ -489,6 +578,15 @@ def main() -> int:
         + f" | queue: {queue['pushed']} pushed, {queue['coalesced']} coalesced"
         + (f" ({coalesce_rate:.1%})" if coalesce_rate is not None else "")
     )
+    probing = deduction["probing"]
+    print(
+        f"[bench] probing: {probing['probes']} probes, {probing['rollbacks']} rollbacks, "
+        f"{probing['redos']} redos | pruned {probing['candidates_pruned']} candidates, "
+        f"early-cut {probing['early_cut_skips']} probes"
+    )
+    share = deduction["fix_cycles_wall_share"]
+    if share is not None:
+        print(f"[bench] fix-cycles wall share (vcs probing stages): {share:.1%}")
     top_rules = sorted(deduction["dp_work_by_rule"].items(), key=lambda item: -item[1])[:4]
     if top_rules:
         split = " | ".join(f"{name} {count}" for name, count in top_rules)

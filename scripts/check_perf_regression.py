@@ -21,13 +21,22 @@ Gated (the job fails on any mismatch):
 * the fresh report's serial-vs-parallel identity flag — the parallel
   runner must not change any schedule.
 
+Also gated: the fresh report must carry the deduction-counter section
+with every expected block (per-rule-class ``dp_work`` split, probing
+counters including candidate pruning / early-cut, probe cache, queue) —
+a missing block means ``bench_report.py`` silently stopped recording a
+deterministic signal the warnings below depend on.
+
 Reported but NOT gated: wall times, throughput and the per-decision-stage
 timing breakdown (host dependent).  Per-stage timing drift against the
 committed report is surfaced as a warning section, as is drift in the
-deduction-layer counters (per-rule-class ``dp_work`` split, probe-cache
-hit rate, propagation-queue coalesce rate): those are deterministic, but a
-shift with an unchanged total usually means a rule or probing-policy
-change worth a look, not a regression.
+deduction-layer counters (per-rule-class ``dp_work`` split, probing
+counters, probe-cache hit rate, propagation-queue coalesce rate) and in
+the fix-cycles wall share (the fraction of the VCS stage wall spent in
+the two probing stages): those counters are deterministic, but a shift
+with an unchanged total usually means a rule or probing-policy change
+worth a look, not a regression — and the wall share is host dependent to
+boot.
 
 Usage::
 
@@ -95,13 +104,37 @@ def report_stage_drift(old_stages: dict, new_stages: dict) -> None:
             print(f"[gate] {line} (not gated)")
 
 
+#: Blocks the fresh report's ``deduction`` section must carry.  Their
+#: *values* are warned on, not gated, but their *presence* is: dropping
+#: one silently would blind the drift warnings below.
+DEDUCTION_BLOCKS = ("dp_work_by_rule", "probing", "probe_cache", "queue")
+
+
+def check_deduction_blocks(new_section, errors: list) -> None:
+    """Gate the shape of the fresh deduction-counter section."""
+    if not new_section:
+        errors.append(
+            "fresh report is missing the 'deduction' counter section "
+            "(bench_report.py no longer aggregating the probe stats?)"
+        )
+        return
+    missing = [block for block in DEDUCTION_BLOCKS if block not in new_section]
+    if missing:
+        errors.append(
+            f"fresh deduction section is missing the {missing} block(s) "
+            "(bench_report.py stopped recording a deterministic counter group)"
+        )
+
+
 def report_deduction_drift(old_section, new_section) -> None:
     """Deduction-counter drift vs the committed report (warnings only).
 
-    Compares the per-rule-class ``dp_work`` split and the probe-cache /
-    queue rates.  Never gated: the gated ``dp_work`` totals and digests
-    already pin behaviour; this surfaces *where* inside the deduction the
-    effort moved when they legitimately change."""
+    Compares the per-rule-class ``dp_work`` split, the probing counters
+    (probes/rollbacks/redos plus candidate pruning and early-cut), the
+    probe-cache / queue rates and the fix-cycles wall share.  Never
+    gated: the gated ``dp_work`` totals and digests already pin
+    behaviour; this surfaces *where* inside the deduction the effort
+    moved when they legitimately change."""
     if not new_section:
         return
     if not old_section:
@@ -113,6 +146,12 @@ def report_deduction_drift(old_section, new_section) -> None:
         old, new = old_rules.get(rule, 0), new_rules.get(rule, 0)
         if old != new:
             print(f"[gate] WARNING deduction rule {rule}: dp_work {old} -> {new} (not gated)")
+    old_probing = old_section.get("probing") or {}
+    new_probing = new_section.get("probing") or {}
+    for counter in sorted(set(old_probing) | set(new_probing)):
+        old, new = old_probing.get(counter, 0), new_probing.get(counter, 0)
+        if old != new:
+            print(f"[gate] WARNING deduction probing {counter}: {old} -> {new} (not gated)")
     for key, label in (("probe_cache", "hit_rate"), ("queue", "coalesce_rate")):
         old = (old_section.get(key) or {}).get(label)
         new = (new_section.get(key) or {}).get(label)
@@ -120,6 +159,16 @@ def report_deduction_drift(old_section, new_section) -> None:
             old_text = f"{old:.3f}" if isinstance(old, float) else str(old)
             new_text = f"{new:.3f}" if isinstance(new, float) else str(new)
             print(f"[gate] WARNING deduction {key} {label}: {old_text} -> {new_text} (not gated)")
+    old_share = old_section.get("fix_cycles_wall_share")
+    new_share = new_section.get("fix_cycles_wall_share")
+    if isinstance(old_share, float) and isinstance(new_share, float):
+        line = f"fix-cycles wall share: {old_share:.1%} -> {new_share:.1%}"
+        if abs(new_share - old_share) > 0.10:
+            print(f"[gate] WARNING {line} (drifted > 10pp; host dependent, not gated)")
+        else:
+            print(f"[gate] {line} (not gated)")
+    elif new_share is not None:
+        print(f"[gate] fix-cycles wall share: {new_share:.1%} (no committed value; not gated)")
 
 
 def scenario_cells(section: dict) -> dict:
@@ -253,6 +302,7 @@ def main() -> int:
         )
 
     check_scenarios(committed.get("scenarios"), fresh.get("scenarios"), errors)
+    check_deduction_blocks(fresh.get("deduction"), errors)
     report_deduction_drift(committed.get("deduction"), fresh.get("deduction"))
 
     runner = fresh.get("parallel", {})

@@ -16,7 +16,7 @@ compile-time thresholds.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -141,8 +141,10 @@ class DeductionProcess:
         #: Total number of DP invocations performed through this instance.
         self.invocations = 0
         #: Rule firings per rule class name, accumulated across invocations
-        #: (sums to the total ``work`` this instance has performed).
-        self.work_by_rule: Dict[str, int] = {}
+        #: (sums to the total ``work`` this instance has performed).  A
+        #: defaultdict so the hottest loop increments without a ``.get``;
+        #: entries only appear for rules that actually fired.
+        self.work_by_rule: Dict[str, int] = defaultdict(int)
         #: Worklist counters (pushes/coalesces; tiered mode only).
         self.queue_stats: Dict[str, int] = new_queue_stats()
 
@@ -218,13 +220,82 @@ class DeductionProcess:
         work_by_rule = self.work_by_rule
         dispatch = self._dispatch
         indexed = self.indexed_dispatch
+        charge = budget.charge if budget is not None else None
         try:
             fifo = self.queue_mode == "fifo"
-            if fifo:
-                # The default worklist stays a bare deque: this loop is the
-                # hottest in the code base and the queue abstraction costs
-                # three Python calls per change event.
+            if fifo and indexed:
+                # The default worklist stays a bare deque, and the default
+                # dispatch loop binds every per-event operation to a local:
+                # this is the hottest loop in the code base and each saved
+                # attribute walk or method call is paid a million times per
+                # scheduling run.
                 queue: Deque[Change] = deque(self._expand(working, decision))
+                consequences.extend(queue)
+                popleft = queue.popleft
+                queue_extend = queue.extend
+                cons_extend = consequences.extend
+                dispatch_get = dispatch.get
+                max_iterations = self.max_iterations
+                iterations = 0
+                if budget is None:
+                    while queue:
+                        iterations += 1
+                        if iterations > max_iterations:
+                            raise Contradiction(
+                                "deduction did not reach a fixed point (possible rule loop)"
+                            )
+                        change = popleft()
+                        pairs = dispatch_get(change.__class__)
+                        if pairs is None:
+                            pairs = self._rules_for(change)
+                        for rule, name in pairs:
+                            work += 1
+                            work_by_rule[name] += 1
+                            produced = rule.fire(working, change)
+                            if produced:
+                                queue_extend(produced)
+                                cons_extend(produced)
+                    return DeductionResult(
+                        state=working, consequences=consequences, work=work
+                    )
+                # Budgeted variant: the per-firing charge() call is inlined
+                # as local arithmetic with the exact semantics of
+                # WorkBudget.charge (increment first, then compare, leaving
+                # ``spent`` one past the limit on exhaustion); the finally
+                # block keeps the budget object coherent on every exit path.
+                b_limit = budget.limit
+                b_spent = budget.spent
+                try:
+                    while queue:
+                        iterations += 1
+                        if iterations > max_iterations:
+                            raise Contradiction(
+                                "deduction did not reach a fixed point (possible rule loop)"
+                            )
+                        change = popleft()
+                        pairs = dispatch_get(change.__class__)
+                        if pairs is None:
+                            pairs = self._rules_for(change)
+                        for rule, name in pairs:
+                            work += 1
+                            work_by_rule[name] += 1
+                            b_spent += 1
+                            if b_limit is not None and b_spent > b_limit:
+                                raise BudgetExhausted(
+                                    f"work budget of {b_limit} units exhausted "
+                                    f"({b_spent} spent)"
+                                )
+                            produced = rule.fire(working, change)
+                            if produced:
+                                queue_extend(produced)
+                                cons_extend(produced)
+                finally:
+                    budget.spent = b_spent
+                return DeductionResult(
+                    state=working, consequences=consequences, work=work
+                )
+            if fifo:
+                queue = deque(self._expand(working, decision))
                 consequences.extend(queue)
             else:
                 queue = make_queue(self.queue_mode, self.queue_stats)
@@ -248,9 +319,9 @@ class DeductionProcess:
                     pairs = [(r, r.__class__.__name__) for r in self._rules if r.applies(change)]
                 for rule, name in pairs:
                     work += 1
-                    work_by_rule[name] = work_by_rule.get(name, 0) + 1
-                    if budget is not None:
-                        budget.charge()
+                    work_by_rule[name] += 1
+                    if charge is not None:
+                        charge()
                     produced = rule.fire(working, change)
                     if produced:
                         if fifo:

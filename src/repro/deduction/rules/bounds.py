@@ -33,9 +33,15 @@ class ForwardBoundPropagation(Rule):
         if not state.has_op(op_id):
             return []
         out: List[Change] = []
-        base = state.estart[op_id]
+        estart = state.estart
+        base = estart[op_id]
+        set_estart = state.set_estart
         for dst, latency in state.succ_edges(op_id):
-            out += state.set_estart(dst, base + latency)
+            # Pre-filter the no-op case (set_estart returns [] when the
+            # value does not raise the bound) to skip the call entirely.
+            value = base + latency
+            if value > estart[dst]:
+                out += set_estart(dst, value)
         return out
 
 
@@ -51,9 +57,15 @@ class BackwardBoundPropagation(Rule):
         if not state.has_op(op_id) or state.lstart[op_id] == INFINITY:
             return []
         out: List[Change] = []
-        base = int(state.lstart[op_id])
+        lstart = state.lstart
+        base = int(lstart[op_id])
+        set_lstart = state.set_lstart
         for src, latency in state.pred_edges(op_id):
-            out += state.set_lstart(src, base - latency)
+            # Pre-filter the no-op case (set_lstart returns [] when the
+            # value does not lower the bound) to skip the call entirely.
+            value = base - latency
+            if value < lstart[src]:
+                out += set_lstart(src, value)
         return out
 
 
@@ -72,12 +84,15 @@ class ComponentPropagation(Rule):
         else:
             anchors = [change.op_id]
         out: List[Change] = []
+        components = state.components
         for anchor in anchors:
-            if not state.has_op(anchor) or anchor not in state.components:
+            if not state.has_op(anchor) or anchor not in components:
                 continue
-            members = state.components.component(anchor)
-            if len(members) <= 1:
+            # Most operations stay singleton components; a size probe is
+            # one root walk instead of building the member/offset list.
+            if components.component_size(anchor) <= 1:
                 continue
+            members = components.component(anchor)
             estart_a = state.estart[anchor]
             lstart_a = state.lstart[anchor]
             for member, offset in members:

@@ -37,25 +37,25 @@ class CommunicationSlackRule(Rule):
         op_id = change.op_id
         if not state.has_op(op_id) or state.is_comm(op_id):
             return []
+        edges = state.register_adjacency(op_id)
+        if not edges:
+            return []
         out: List[Change] = []
-        graph = state.block.graph
-        edges = [
-            (e.src, e.dst) for e in graph.successors(op_id) if e.is_register_edge
-        ] + [
-            (e.src, e.dst) for e in graph.predecessors(op_id) if e.is_register_edge
-        ]
         bus = state.copy_latency
+        estart, lstart = state.estart, state.lstart
+        latency = state._latency
+        same_vc = state.vcg.same_vc
+        are_incompatible = state.vcg.are_incompatible
         for producer, consumer in edges:
-            if state.same_vc(producer, consumer):
+            if same_vc(producer, consumer):
                 continue
-            if state.lstart[consumer] == INFINITY:
+            ls = lstart[consumer]
+            if ls == INFINITY:
                 continue
-            room = int(state.lstart[consumer]) - (
-                state.estart[producer] + state.latency(producer)
-            )
+            room = int(ls) - (estart[producer] + latency[producer])
             if room >= bus:
                 continue
-            if state.vcg.are_incompatible(producer, consumer):
+            if are_incompatible(producer, consumer):
                 raise Contradiction(
                     f"producer {producer} and consumer {consumer} are in incompatible "
                     f"virtual clusters but only {room} cycles remain for a copy "
@@ -90,30 +90,39 @@ class CommunicationTimingRule(Rule):
             if comm is None or not comm.is_fully_linked or comm.value is None:
                 return []
             producer = comm.producer
-            for consumer in state.block.graph.consumers_of(comm.value):
-                if state.same_vc(producer, consumer):
+            arrival = state.estart[op_id] + bus
+            lstart = state.lstart
+            same_vc = state.vcg.same_vc
+            for consumer in state.consumers_of_value(comm.value):
+                if same_vc(producer, consumer):
                     continue
-                if state.lstart[consumer] == INFINITY:
+                ls = lstart[consumer]
+                if ls == INFINITY:
                     continue
-                if int(state.lstart[consumer]) < state.estart[op_id] + bus:
+                if int(ls) < arrival:
                     out += state.fuse_vcs(producer, consumer)
             return out
 
         # Rule 4: the lstart of a consumer moved; if the value it reads is
         # communicated and the copy cannot arrive in time, fuse with the
         # producer.
-        if state.lstart[op_id] == INFINITY:
+        ls_op = state.lstart[op_id]
+        if ls_op == INFINITY:
             return []
-        for edge in state.block.graph.predecessors(op_id):
-            if not edge.is_register_edge:
+        reg_preds = state.register_pred_values(op_id)
+        if not reg_preds:
+            return []
+        deadline = int(ls_op)
+        value_flc = state._value_flc
+        estart = state.estart
+        same_vc = state.vcg.same_vc
+        for producer, value in reg_preds:
+            comm_id = value_flc.get(value) if value is not None else None
+            if comm_id is None:
                 continue
-            comm = state.flc_for_value(edge.value)
-            if comm is None:
+            if same_vc(producer, op_id):
                 continue
-            producer = edge.src
-            if state.same_vc(producer, op_id):
-                continue
-            if state.estart[comm.comm_id] + bus > int(state.lstart[op_id]):
+            if estart[comm_id] + bus > deadline:
                 out += state.fuse_vcs(producer, op_id)
         return out
 
@@ -160,24 +169,33 @@ class VCFusionResourceRule(Rule):
                 )
 
         # Same check through connected-component offsets for members that are
-        # not pinned yet but already rigidly co-scheduled.
-        for i, first in enumerate(members):
-            for second in members[i + 1:]:
-                offset = state.components.offset_between(first, second)
-                if offset != 0:
-                    continue
-                op_a, op_b = state.op(first), state.op(second)
-                if op_a.op_class == op_b.op_class:
-                    per_cluster = machine.max_cluster_capacity(op_a.op_class)
-                    if per_cluster < 2:
+        # not pinned yet but already rigidly co-scheduled.  Two members share
+        # a cycle exactly when they have the same component root and the
+        # same offset from it, so the members are grouped by one find() each
+        # instead of an O(members²) offset_between sweep; only groups of two
+        # or more hold co-scheduled pairs.
+        find = state.components.find
+        by_placement: Dict[Tuple[int, int], List[int]] = {}
+        for op_id in members:
+            root, offset = find(op_id)
+            by_placement.setdefault((root, offset), []).append(op_id)
+        for group in by_placement.values():
+            if len(group) < 2:
+                continue
+            for i, first in enumerate(group):
+                for second in group[i + 1:]:
+                    op_a, op_b = state.op(first), state.op(second)
+                    if op_a.op_class == op_b.op_class:
+                        per_cluster = machine.max_cluster_capacity(op_a.op_class)
+                        if per_cluster < 2:
+                            raise Contradiction(
+                                f"operations {first} and {second} share a cycle and the "
+                                "fused virtual cluster but no cluster issues two "
+                                f"{op_a.op_class} operations"
+                            )
+                    if per_cluster_issue < 2:
                         raise Contradiction(
-                            f"operations {first} and {second} share a cycle and the "
-                            "fused virtual cluster but no cluster issues two "
-                            f"{op_a.op_class} operations"
+                            f"operations {first} and {second} share a cycle and the fused "
+                            "virtual cluster but clusters are single-issue"
                         )
-                if per_cluster_issue < 2:
-                    raise Contradiction(
-                        f"operations {first} and {second} share a cycle and the fused "
-                        "virtual cluster but clusters are single-issue"
-                    )
         return []

@@ -13,8 +13,7 @@ from repro.deduction.consequence import (
     CycleFixed,
 )
 from repro.deduction.rules.base import Rule
-from repro.deduction.state import SchedulingState
-from repro.sgraph.combination import pair_key
+from repro.deduction.state import INFINITY, SchedulingState
 
 
 class CombinationWindowRule(Rule):
@@ -28,14 +27,17 @@ class CombinationWindowRule(Rule):
     triggers = (BoundChange, CycleFixed)
 
     def fire(self, state: SchedulingState, change: Change) -> List[Change]:
-        op_id = change.op_id
-        if not state.has_op(op_id) or state.is_comm(op_id):
+        # Communications and unknown ids have no scheduling-graph pairs, so
+        # the neighbor table doubles as the has_op/is_comm guard.
+        neighbors = state._neighbor_keys.get(change.op_id)
+        if not neighbors:
             return []
         out: List[Change] = []
         estart, lstart = state.estart, state.lstart
         chosen = state._chosen
-        for other in state.sgraph.neighbors(op_id):
-            key = (op_id, other) if op_id < other else (other, op_id)
+        remaining = state._remaining
+        discard = state._discard
+        for _other, key in neighbors:
             if key in chosen:
                 # The pair is already rigid; an empty window would have been a
                 # bound contradiction instead.
@@ -43,7 +45,11 @@ class CombinationWindowRule(Rule):
             a, b = key
             ea, eb = estart[a], estart[b]
             la, lb = lstart[a], lstart[b]
-            for distance in state.remaining_combinations(a, b):
+            # Snapshot tuple from the delta-maintained remaining-distances
+            # table; discards during the loop replace the table entry and
+            # leave this iteration untouched, exactly like the list the
+            # remaining_combinations call used to build.
+            for distance in remaining.get(key, ()):
                 # Inlined SchedulingState.combination_window (hot path):
                 # low = max(estart[a], estart[b]-d), high = min(lstart[a],
                 # lstart[b]-d) with (a, b) already in pair_key order.  Keep
@@ -52,7 +58,11 @@ class CombinationWindowRule(Rule):
                 low = ea if ea >= eb - distance else eb - distance
                 high = la if la <= lb - distance else lb - distance
                 if low > high:
-                    out += state.discard_combination(a, b, distance)
+                    # Direct _discard: the key is pair-ordered, the distance
+                    # comes from _remaining (a subset of the graph's
+                    # distances), and the pair is not chosen — every check
+                    # discard_combination would perform is already settled.
+                    out += discard(key, distance)
         return out
 
 
@@ -70,28 +80,57 @@ class MustOverlapRule(Rule):
     triggers = (BoundChange, CycleFixed, CombinationDiscarded)
 
     def fire(self, state: SchedulingState, change: Change) -> List[Change]:
-        if isinstance(change, CombinationDiscarded):
-            pairs = [(change.u, change.v)]
-        else:
-            op_id = change.op_id
-            if not state.has_op(op_id) or state.is_comm(op_id):
-                return []
-            pairs = [(op_id, other) for other in state.sgraph.neighbors(op_id)]
-        out: List[Change] = []
         chosen = state._chosen
-        for u, v in pairs:
-            if ((u, v) if u < v else (v, u)) in chosen:
-                continue
-            if not state.must_overlap(u, v):
-                continue
-            remaining = state.remaining_combinations(u, v)
+        estart, lstart = state.estart, state.lstart
+        latency = state._latency
+        remaining_map = state._remaining
+        out: List[Change] = []
+        if isinstance(change, CombinationDiscarded):
+            # CombinationDiscarded events are emitted in pair-key order.
+            u, v = change.u, change.v
+            key = (u, v)
+            if key in chosen:
+                return []
+            # Inlined state.must_overlap (hot path) — keep in sync.
+            lu, lv = lstart[u], lstart[v]
+            if lu == INFINITY or lv == INFINITY:
+                return []
+            if lv - estart[u] >= latency[u] or lu - estart[v] >= latency[v]:
+                return []
+            remaining = remaining_map.get(key, ())
             if not remaining:
                 raise Contradiction(
                     f"operations {u} and {v} must overlap but no combination remains"
                 )
             if len(remaining) == 1:
-                a, b = pair_key(u, v)
-                out += state.choose_combination(a, b, remaining[0])
+                out += state.choose_combination(u, v, remaining[0])
+            return out
+        op_id = change.op_id
+        neighbors = state._neighbor_keys.get(op_id)
+        if not neighbors:
+            return []
+        l_op = lstart[op_id]
+        if l_op == INFINITY:
+            # Every pair of this operation fails the must-overlap test.
+            return []
+        e_op = estart[op_id]
+        lat_op = latency[op_id]
+        for other, key in neighbors:
+            if key in chosen:
+                continue
+            # Inlined state.must_overlap with the op_id side hoisted.
+            lv = lstart[other]
+            if lv == INFINITY:
+                continue
+            if lv - e_op >= lat_op or l_op - estart[other] >= latency[other]:
+                continue
+            remaining = remaining_map.get(key, ())
+            if not remaining:
+                raise Contradiction(
+                    f"operations {op_id} and {other} must overlap but no combination remains"
+                )
+            if len(remaining) == 1:
+                out += state.choose_combination(key[0], key[1], remaining[0])
         return out
 
 

@@ -33,17 +33,27 @@ class IncompatibilityCommunicationRule(Rule):
     triggers = (VCsIncompatible, VCsFused)
 
     def fire(self, state: SchedulingState, change: Change) -> List[Change]:
-        vc_u = state.vcg.vc_of(change.u)
-        vc_v = state.vcg.vc_of(change.v)
-        affected = {vc_u, vc_v}
+        # A register edge has an endpoint in an affected VC exactly when it
+        # touches one of that VC's members, so only the members' edges are
+        # scanned (``add_flc`` never mutates the VCG, so the memberships
+        # are stable throughout).  The surviving edges are visited in
+        # register-edge order, exactly like the full scan this replaces.
+        touch = state._reg_touch_idx
+        idxs: set = set()
+        for member in state.vcg.members(change.u):
+            idxs.update(touch.get(member, ()))
+        for member in state.vcg.members(change.v):
+            idxs.update(touch.get(member, ()))
+        if not idxs:
+            return []
+        triples = state.register_edge_triples()
+        are_incompatible = state.vcg.are_incompatible
         out: List[Change] = []
-        for edge in state.block.graph.register_edges():
-            roots = {state.vcg.vc_of(edge.src), state.vcg.vc_of(edge.dst)}
-            if not (roots & affected):
+        for index in sorted(idxs):
+            src, dst, value = triples[index]
+            if not are_incompatible(src, dst):
                 continue
-            if not state.vcg.are_incompatible(edge.src, edge.dst):
-                continue
-            out += state.add_flc(edge.src, edge.dst, edge.value)
+            out += state.add_flc(src, dst, value)
         return out
 
 

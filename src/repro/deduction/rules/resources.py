@@ -20,7 +20,7 @@ from repro.deduction.consequence import (
     VCsFused,
 )
 from repro.deduction.rules.base import Rule
-from repro.deduction.state import INFINITY, SchedulingState
+from repro.deduction.state import SchedulingState
 from repro.ir.operation import OpClass
 
 
@@ -92,14 +92,16 @@ class FixedCycleResourceRule(Rule):
         """Push unfixed operations (of *op_class*, or any non-copy class when
         None) out of a saturated cycle."""
         out: List[Change] = []
-        for op_id in state.all_ids:
+        if op_class is None:
+            candidates = state.all_ids
+        else:
+            # Same membership and order as filtering all_ids by class, but
+            # only the affected class is scanned.
+            candidates = state.ids_by_class().get(op_class, [])
+        for op_id in candidates:
             if op_id in exclude or state.is_fixed(op_id):
                 continue
-            op = state.op(op_id)
-            if op_class is None:
-                if op.is_copy:
-                    continue
-            elif op.op_class is not op_class:
+            if op_class is None and state.op(op_id).is_copy:
                 continue
             if state.estart[op_id] == cycle:
                 out += state.set_estart(op_id, cycle + 1)
@@ -177,16 +179,13 @@ class FixedCycleResourceRule(Rule):
                 raise Contradiction("communications exist but the machine has no interconnect")
             return out
         occupancy = machine.copy_occupancy
-        fixed_comms = [c for c in state.comm_ids if state.is_fixed(c)]
         # A transfer fixed at cycle t occupies its channel during
         # [t, t + occupancy - 1]; a change at `cycle` can create contention in
-        # any cycle its own occupancy window touches.
+        # any cycle its own occupancy window touches.  A transfer is busy at
+        # `probe` iff it is fixed within [probe - occupancy + 1, probe], which
+        # the fixed-at buckets count directly — no scan over all transfers.
         for probe in range(cycle - occupancy + 1, cycle + occupancy):
-            busy = 0
-            for comm in fixed_comms:
-                start = state.estart[comm]
-                if start <= probe <= start + occupancy - 1:
-                    busy += 1
+            busy = state.n_fixed_comms_in(probe - occupancy + 1, probe)
             if busy > channels:
                 raise Contradiction(
                     f"{busy} communications occupy the interconnect in cycle {probe}, "
@@ -221,29 +220,30 @@ class ClassWindowPressureRule(Rule):
         if isinstance(change, BoundChange) and change.which != "lstart":
             return []
         machine = state.machine
-        estart, lstart = state.estart, state.lstart
-        for op_class, ids in state.ids_by_class().items():
-            members = [i for i in ids if lstart[i] != INFINITY]
-            if not members:
+        capacity_of = machine._per_cycle_capacity
+        # The per-class (members, min estart, max lstart) aggregates are
+        # delta-maintained by the bound mutators; reading them replaces the
+        # per-firing scan over every live operation.  Key order matches
+        # ids_by_class, so contradictions pick the same class as a scan.
+        for op_class, (n, low, high) in state.class_pressure().items():
+            if n == 0:
                 continue
-            capacity = machine.per_cycle_capacity(op_class)
+            capacity = capacity_of[op_class]
             if capacity == 0:
                 raise Contradiction(f"machine cannot execute {op_class} operations")
-            low = min(estart[i] for i in members)
-            high = max(int(lstart[i]) for i in members)
             window = high - low + 1
             # A transfer on a non-pipelined interconnect holds its channel
             # for several cycles, so each copy consumes `occupancy`
             # channel-cycles; the usable channel cycles extend
             # `occupancy - 1` past the last possible start.
-            demand = len(members)
+            demand = n
             slots = window
             if op_class is OpClass.COPY:
                 demand *= machine.copy_occupancy
                 slots += machine.copy_occupancy - 1
             if demand > capacity * slots:
                 raise Contradiction(
-                    f"{len(members)} {op_class} operations must issue within "
+                    f"{n} {op_class} operations must issue within "
                     f"cycles [{low}, {high}] but capacity is {capacity}/cycle"
                 )
         return []

@@ -124,6 +124,101 @@ class SchedulingState:
             i: op.latency for i, op in self._ops.items()
         }
 
+        # Unfixed-predecessor edge counts over the static dependence graph:
+        # ``_unfixed_preds[i]`` is the number of predecessor edges of *i*
+        # whose source operation is not yet fixed, so the "ready" test of
+        # candidate selection (every producer pinned) is a zero check
+        # instead of an O(preds) rescan.  Decremented by ``_mark_fixed``
+        # through the trail, hence restored exactly on rollback.
+        graph = block.graph
+        self._unfixed_preds: Dict[int, int] = {
+            i: len(graph.predecessors(i)) for i in self._original_ids
+        }
+        # Static per-operation views over the (immutable) dependence graph,
+        # precomputed once so the hot bound/cluster rules iterate ready-made
+        # tuples instead of filtering DepEdge lists on every firing.  The
+        # register-adjacency of CommunicationSlackRule keeps its scan order
+        # (successor edges first, then predecessor edges).
+        self._succ_static: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            i: tuple((e.dst, e.latency) for e in graph.successors(i))
+            for i in self._original_ids
+        }
+        self._pred_static: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            i: tuple((e.src, e.latency) for e in graph.predecessors(i))
+            for i in self._original_ids
+        }
+        self._reg_adj: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            i: tuple((e.src, e.dst) for e in graph.successors(i) if e.is_register_edge)
+            + tuple((e.src, e.dst) for e in graph.predecessors(i) if e.is_register_edge)
+            for i in self._original_ids
+        }
+        self._reg_pred: Dict[int, Tuple[Tuple[int, Optional[str]], ...]] = {
+            i: tuple((e.src, e.value) for e in graph.predecessors(i) if e.is_register_edge)
+            for i in self._original_ids
+        }
+        self._reg_edge_triples: Tuple[Tuple[int, int, Optional[str]], ...] = tuple(
+            (e.src, e.dst, e.value) for e in graph.register_edges()
+        )
+        self._value_consumers: Dict[str, Tuple[int, ...]] = {}
+        for _src, _dst, _value in self._reg_edge_triples:
+            if _value is not None and _value not in self._value_consumers:
+                self._value_consumers[_value] = tuple(graph.consumers_of(_value))
+        # Indices into ``_reg_edge_triples`` of the register edges touching
+        # each operation (as src or dst) — lets the incompatibility rule
+        # scan only the edges of the affected VCs' members, in edge order.
+        _touch: Dict[int, List[int]] = {}
+        for _idx, (_src, _dst, _value) in enumerate(self._reg_edge_triples):
+            _touch.setdefault(_src, []).append(_idx)
+            if _dst != _src:
+                _touch.setdefault(_dst, []).append(_idx)
+        self._reg_touch_idx: Dict[int, Tuple[int, ...]] = {
+            k: tuple(v) for k, v in _touch.items()
+        }
+        # Scheduling-graph neighbours paired with their pair key, so the
+        # hot combination rules skip the per-neighbour key construction.
+        self._neighbor_keys: Dict[int, Tuple[Tuple[int, Tuple[int, int]], ...]] = {
+            i: tuple(
+                (other, (i, other) if i < other else (other, i))
+                for other in sgraph.neighbors(i)
+            )
+            for i in self._original_ids
+        }
+        # Communication edges as per-op adjacency tuples, delta-maintained
+        # alongside ``_comm_edges`` (same insertion order) so succ_edges /
+        # pred_edges are dict hits instead of linear scans.
+        self._succ_comm: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._pred_comm: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        # Remaining (neither discarded nor superseded by a choice)
+        # combination distances per scheduling-graph pair, in the graph's
+        # distance order.  Mirrors ``sgraph.distances(key) - discarded`` so
+        # the hot combination rules iterate a ready-made tuple instead of
+        # filtering the full distance list on every firing.
+        self._remaining: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            key: sgraph.distances(*key) for key in self._undecided_pairs
+        }
+        # Per-class ``(members, min estart, max lstart)`` over operations
+        # with a finite lstart — the aggregates ClassWindowPressureRule
+        # checks on every firing.  Keys are pre-created for the original
+        # operations' classes in first-appearance order (the iteration
+        # order of :meth:`ids_by_class`); COPY joins at the end when the
+        # first communication gets a finite deadline, which is also where
+        # :meth:`ids_by_class` places the communications.
+        self._class_pressure: Dict[OpClass, Tuple[int, int, int]] = {}
+        for i in self._original_ids:
+            op_class = self._ops[i].op_class
+            if op_class not in self._class_pressure:
+                self._class_pressure[op_class] = (0, 0, 0)
+        # Revision stamps backing the out-edge cache: ``_vcg_rev_source``
+        # hands out globally fresh stamps (monotone, never rolled back);
+        # ``_vcg_rev`` is trail-recorded and set to a fresh stamp around
+        # every actual VCG mutation.  Equal revisions therefore imply
+        # identical VCG content even across rollbacks and redo replays —
+        # a stamp is issued exactly once, and any mutation after it (kept
+        # or not) rebinds ``_vcg_rev`` away from it.
+        self._vcg_rev_source: int = 0
+        self._vcg_rev: int = 0
+        self._outedges_cache: Optional[Tuple[int, List[Tuple[int, int, str]]]] = None
+
         # The mutation trail; attached last so construction is not recorded.
         self.trail = Trail()
         self.components.attach_trail(self.trail)
@@ -194,6 +289,22 @@ class SchedulingState:
         clone._class_ids_cache = None
         clone._ops = dict(self._ops)
         clone._latency = dict(self._latency)
+        clone._unfixed_preds = dict(self._unfixed_preds)
+        clone._succ_static = self._succ_static
+        clone._pred_static = self._pred_static
+        clone._reg_adj = self._reg_adj
+        clone._reg_pred = self._reg_pred
+        clone._reg_edge_triples = self._reg_edge_triples
+        clone._value_consumers = self._value_consumers
+        clone._reg_touch_idx = self._reg_touch_idx
+        clone._neighbor_keys = self._neighbor_keys
+        clone._succ_comm = dict(self._succ_comm)
+        clone._pred_comm = dict(self._pred_comm)
+        clone._remaining = dict(self._remaining)
+        clone._class_pressure = dict(self._class_pressure)
+        clone._vcg_rev_source = self._vcg_rev_source
+        clone._vcg_rev = self._vcg_rev
+        clone._outedges_cache = None
         clone.trail = Trail()
         clone.components.attach_trail(clone.trail)
         clone.vcg.attach_trail(clone.trail)
@@ -260,28 +371,44 @@ class SchedulingState:
     # ------------------------------------------------------------------ #
     # dependence structure including communication edges
     # ------------------------------------------------------------------ #
-    def succ_edges(self, op_id: int) -> List[Tuple[int, int]]:
-        """Successors of *op_id* with the minimum issue distance to each."""
-        result: List[Tuple[int, int]] = []
-        if not self.is_comm(op_id):
-            result.extend(
-                (edge.dst, edge.latency) for edge in self.block.graph.successors(op_id)
-            )
-        result.extend((dst, lat) for src, dst, lat in self._comm_edges if src == op_id)
-        return result
+    def succ_edges(self, op_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Successors of *op_id* with the minimum issue distance to each.
 
-    def pred_edges(self, op_id: int) -> List[Tuple[int, int]]:
+        Static graph edges first (precomputed), then communication edges in
+        insertion order — the exact order the old linear scan produced."""
+        base = self._succ_static.get(op_id, ())
+        extra = self._succ_comm.get(op_id)
+        return base + extra if extra else base
+
+    def pred_edges(self, op_id: int) -> Tuple[Tuple[int, int], ...]:
         """Predecessors of *op_id* with the minimum issue distance from each."""
-        result: List[Tuple[int, int]] = []
-        if not self.is_comm(op_id):
-            result.extend(
-                (edge.src, edge.latency) for edge in self.block.graph.predecessors(op_id)
-            )
-        result.extend((src, lat) for src, dst, lat in self._comm_edges if dst == op_id)
-        return result
+        base = self._pred_static.get(op_id, ())
+        extra = self._pred_comm.get(op_id)
+        return base + extra if extra else base
 
     def comm_edges(self) -> List[Tuple[int, int, int]]:
         return list(self._comm_edges)
+
+    def register_adjacency(self, op_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Static ``(producer, consumer)`` register edges touching *op_id*
+        (successor edges first, then predecessor edges — the scan order of
+        CommunicationSlackRule)."""
+        return self._reg_adj.get(op_id, ())
+
+    def register_pred_values(self, op_id: int) -> Tuple[Tuple[int, Optional[str]], ...]:
+        """Static ``(producer, value)`` register-edge predecessors of *op_id*."""
+        return self._reg_pred.get(op_id, ())
+
+    def register_edge_triples(self) -> Tuple[Tuple[int, int, Optional[str]], ...]:
+        """All register edges of the block as ``(src, dst, value)`` triples."""
+        return self._reg_edge_triples
+
+    def consumers_of_value(self, value: str) -> Tuple[int, ...]:
+        """Consumers of *value* in the static graph (precomputed)."""
+        cached = self._value_consumers.get(value)
+        if cached is not None:
+            return cached
+        return tuple(self.block.graph.consumers_of(value))
 
     # ------------------------------------------------------------------ #
     # bounds
@@ -313,6 +440,19 @@ class SchedulingState:
             bucket = set()
             trail.set_item(self._fixed_at, cycle, bucket)
         trail.add_to_set(bucket, op_id)
+        if op_id not in self._comm_ops:
+            # One producer of every consumer just got pinned: decrement the
+            # consumers' unfixed-predecessor edge counts (communications are
+            # not in the static graph, so only originals contribute).
+            preds = self._unfixed_preds
+            for edge in self.block.graph.successors(op_id):
+                trail.set_item(preds, edge.dst, preds[edge.dst] - 1)
+
+    def unfixed_pred_counts(self) -> Dict[int, int]:
+        """Per-original-operation count of predecessor edges whose source is
+        not yet fixed (a read-only view; zero means every producer is pinned
+        and the operation is ready for cycle selection)."""
+        return self._unfixed_preds
 
     def unfixed_ids(self, communications: bool = False) -> List[int]:
         """Operations whose issue cycle is not yet fixed.
@@ -339,6 +479,71 @@ class SchedulingState:
             return []
         return sorted(bucket)
 
+    def n_fixed_comms_in(self, low: int, high: int) -> int:
+        """Number of fixed communications whose cycle lies in ``[low, high]``.
+
+        A fixed communication's cycle is its (frozen) estart, so the
+        fixed-at buckets answer this exactly — the bus-capacity rule scans
+        a few buckets instead of all communications per probed cycle."""
+        total = 0
+        comm_ops = self._comm_ops
+        fixed_at = self._fixed_at
+        for cycle in range(low, high + 1):
+            bucket = fixed_at.get(cycle)
+            if bucket:
+                for i in bucket:
+                    if i in comm_ops:
+                        total += 1
+        return total
+
+    # ------------------------------------------------------------------ #
+    # class-pressure aggregates
+    # ------------------------------------------------------------------ #
+    def class_pressure(self) -> Dict[OpClass, Tuple[int, int, int]]:
+        """Per-class ``(members, min estart, max lstart)`` over operations
+        with a finite lstart, in :meth:`ids_by_class` key order (read-only
+        view; classes with no member report ``(0, 0, 0)``).
+
+        Equals what a fresh scan over :meth:`ids_by_class` would compute —
+        delta-maintained by the bound mutators so ClassWindowPressureRule
+        fires in O(classes) instead of O(operations)."""
+        return self._class_pressure
+
+    def _class_join(self, op_id: int, estart: int, lstart: int) -> None:
+        """An operation's lstart became finite: join its class aggregate."""
+        op_class = self._ops[op_id].op_class
+        entry = self._class_pressure.get(op_class)
+        if entry is None or entry[0] == 0:
+            self.trail.set_item(self._class_pressure, op_class, (1, estart, lstart))
+            return
+        n, low, high = entry
+        self.trail.set_item(
+            self._class_pressure,
+            op_class,
+            (n + 1, estart if estart < low else low, lstart if lstart > high else high),
+        )
+
+    def _class_recompute(self, op_class: OpClass) -> None:
+        """Rebuild one class aggregate from its live members (the rare path:
+        the member defining the current min or max moved or was dropped)."""
+        estart, lstart = self.estart, self.lstart
+        n = low = high = 0
+        for i in self.ids_by_class().get(op_class, ()):
+            ls = lstart[i]
+            if ls == INFINITY:
+                continue
+            e = estart[i]
+            ils = int(ls)
+            if n == 0:
+                n, low, high = 1, e, ils
+            else:
+                n += 1
+                if e < low:
+                    low = e
+                if ils > high:
+                    high = ils
+        self.trail.set_item(self._class_pressure, op_class, (n, low, high))
+
     def set_estart(self, op_id: int, value: int) -> List[Change]:
         current = self.estart[op_id]
         if value <= current:
@@ -354,6 +559,11 @@ class SchedulingState:
             trail.set_attr(self, "_sum_estart_orig", self._sum_estart_orig + value - current)
         if lstart != INFINITY:
             trail.set_attr(self, "_sum_slack", self._sum_slack - (value - current))
+            # A finite lstart makes the op a member of its class-pressure
+            # aggregate; if it defined the class's min estart, recompute.
+            op_class = self._ops[op_id].op_class
+            if current == self._class_pressure[op_class][1]:
+                self._class_recompute(op_class)
         changes: List[Change] = [BoundChange(op_id, "estart", value)]
         if lstart == value:
             self._mark_fixed(op_id, value)
@@ -373,8 +583,13 @@ class SchedulingState:
         trail.set_item(self.lstart, op_id, value)
         if current == INFINITY:
             trail.set_attr(self, "_sum_slack", self._sum_slack + (value - estart))
+            # First finite lstart: the op joins its class-pressure aggregate.
+            self._class_join(op_id, estart, value)
         else:
             trail.set_attr(self, "_sum_slack", self._sum_slack - (current - value))
+            op_class = self._ops[op_id].op_class
+            if current == self._class_pressure[op_class][2]:
+                self._class_recompute(op_class)
         changes: List[Change] = [BoundChange(op_id, "lstart", value)]
         if estart == value:
             self._mark_fixed(op_id, value)
@@ -412,15 +627,15 @@ class SchedulingState:
         return set(self._discarded.get(pair_key(u, v), set()))
 
     def remaining_combinations(self, u: int, v: int) -> List[int]:
-        """Distances still available for the pair (empty when decided)."""
+        """Distances still available for the pair (empty when decided).
+
+        Backed by the delta-maintained ``_remaining`` tuples, so the read is
+        a dict hit instead of filtering the full distance list; the order is
+        the scheduling graph's distance order, exactly as before."""
         key = pair_key(u, v)
         if key in self._chosen:
             return []
-        distances = self.sgraph.distances(*key)
-        discarded = self._discarded.get(key)
-        if not discarded:
-            return list(distances)
-        return [d for d in distances if d not in discarded]
+        return list(self._remaining.get(key, ()))
 
     def is_pair_decided(self, u: int, v: int) -> bool:
         key = pair_key(u, v)
@@ -470,20 +685,25 @@ class SchedulingState:
         return changes
 
     def _discard(self, key: Tuple[int, int], distance: int) -> List[Change]:
+        trail = self.trail
         bucket = self._discarded.get(key)
         if bucket is None:
             bucket = set()
-            self.trail.set_item(self._discarded, key, bucket)
-        if distance in bucket:
+            trail.set_item(self._discarded, key, bucket)
+        elif distance in bucket:
             return []
-        self.trail.add_to_set(bucket, distance)
-        if (
-            key not in self._chosen
-            and key in self._undecided_pairs
-            and len(bucket) == len(self.sgraph.distances(*key))
-        ):
-            # Every combination of the pair is now ruled out: it is decided.
-            self.trail.discard_from_set(self._undecided_pairs, key)
+        trail.add_to_set(bucket, distance)
+        left = self._remaining.get(key)
+        if left is not None:
+            left = tuple([d for d in left if d != distance])
+            trail.set_item(self._remaining, key, left)
+            if (
+                not left
+                and key not in self._chosen
+                and key in self._undecided_pairs
+            ):
+                # Every combination of the pair is now ruled out: it is decided.
+                trail.discard_from_set(self._undecided_pairs, key)
         return [CombinationDiscarded(key[0], key[1], distance)]
 
     def discard_combination(self, u: int, v: int, distance: int) -> List[Change]:
@@ -540,28 +760,65 @@ class SchedulingState:
         return high - low
 
     def pair_slack(self, u: int, v: int) -> float:
-        """Slack of the tightest remaining combination of the pair."""
-        remaining = self.remaining_combinations(u, v)
+        """Slack of the tightest remaining combination of the pair.
+
+        Inlines :meth:`combination_slack` over the ``_remaining`` tuple in
+        pair-key orientation (the stored distances are already key-oriented),
+        avoiding a per-distance pair normalization and list build on the
+        most-constraining-pair hot path."""
+        key = pair_key(u, v)
+        if key in self._chosen:
+            return INFINITY
+        remaining = self._remaining.get(key, ())
         if not remaining:
             return INFINITY
-        return min(self.combination_slack(u, v, d) for d in remaining)
+        a, b = key
+        ea, eb = self.estart[a], self.estart[b]
+        la, lb = self.lstart[a], self.lstart[b]
+        best = INFINITY
+        for distance in remaining:
+            low = ea if ea >= eb - distance else eb - distance
+            high = la if la <= lb - distance else lb - distance
+            slack = high - low
+            if slack < best:
+                best = slack
+        return best
 
     # ------------------------------------------------------------------ #
     # virtual clusters
     # ------------------------------------------------------------------ #
+    def _bump_vcg_rev(self) -> None:
+        """Stamp a fresh VCG revision (invalidates the out-edge cache).
+
+        Must run whenever VCG mutations may have landed on the trail —
+        including fusions that raise *after* partially mutating: those
+        mutations stay visible until the caller rolls back, and the cache
+        must not treat them as the stamped-at content."""
+        self._vcg_rev_source += 1
+        self.trail.set_attr(self, "_vcg_rev", self._vcg_rev_source)
+
     def fuse_vcs(self, u: int, v: int) -> List[Change]:
         try:
             merged = self.vcg.fuse(u, v)
         except VCContradiction as exc:
+            self._bump_vcg_rev()
             raise Contradiction(str(exc)) from exc
-        return [VCsFused(u, v)] if merged else []
+        if merged:
+            self._bump_vcg_rev()
+            return [VCsFused(u, v)]
+        return []
 
     def mark_incompatible(self, u: int, v: int) -> List[Change]:
         try:
+            # mark_incompatible mutates nothing before its checks pass, so
+            # the contradiction path needs no revision bump.
             added = self.vcg.mark_incompatible(u, v)
         except VCContradiction as exc:
             raise Contradiction(str(exc)) from exc
-        return [VCsIncompatible(u, v)] if added else []
+        if added:
+            self._bump_vcg_rev()
+            return [VCsIncompatible(u, v)]
+        return []
 
     def pin_vc(self, op_id: int, physical_cluster: int) -> List[Change]:
         try:
@@ -578,14 +835,26 @@ class SchedulingState:
 
         These are the out-edges stage 3 has to eliminate: each must end up
         either inside one VC (fusion) or across incompatible VCs (with a
-        communication)."""
-        result = []
-        for edge in self.block.graph.register_edges():
-            if self.vcg.same_vc(edge.src, edge.dst):
-                continue
-            if self.vcg.are_incompatible(edge.src, edge.dst):
-                continue
-            result.append((edge.src, edge.dst, edge.value))
+        communication).  Returns a fresh list (stage 3 mutates the VCG while
+        iterating it); the underlying scan is cached against the VCG
+        revision stamp, so the scoring reads that only need the edge count
+        pay a cache hit instead of an O(edges) union-find walk."""
+        return list(self._outedges())
+
+    def _outedges(self) -> List[Tuple[int, int, str]]:
+        cached = self._outedges_cache
+        rev = self._vcg_rev
+        if cached is not None and cached[0] == rev:
+            return cached[1]
+        same_vc = self.vcg.same_vc
+        are_incompatible = self.vcg.are_incompatible
+        result = [
+            triple
+            for triple in self._reg_edge_triples
+            if not same_vc(triple[0], triple[1])
+            and not are_incompatible(triple[0], triple[1])
+        ]
+        self._outedges_cache = (rev, result)
         return result
 
     def crossing_edges(self) -> List[Tuple[int, int, str]]:
@@ -625,9 +894,7 @@ class SchedulingState:
                 # The same transferred value serves another consumer: the
                 # consumer simply reads the communicated copy, so only the
                 # timing edge is added.
-                trail.append_to_list(
-                    self._comm_edges, (existing, consumer, self.copy_latency)
-                )
+                self._add_comm_edge(existing, consumer, self.copy_latency)
                 changes += self.set_estart(
                     consumer, self.estart[existing] + self.copy_latency
                 )
@@ -638,8 +905,8 @@ class SchedulingState:
         self.comms.add(comm)
         self._register_comm_op(comm_id, make_copy(comm_id, value, latency=self.copy_latency))
         trail.set_item(self._value_flc, value, comm_id)
-        trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
-        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.copy_latency))
+        self._add_comm_edge(producer, comm_id, self.latency(producer))
+        self._add_comm_edge(comm_id, consumer, self.copy_latency)
 
         earliest = self.estart[producer] + self.latency(producer)
         latest = self.lstart[consumer] - self.copy_latency
@@ -651,6 +918,7 @@ class SchedulingState:
         trail.set_item(self.lstart, comm_id, latest)
         if latest != INFINITY:
             trail.set_attr(self, "_sum_slack", self._sum_slack + (latest - earliest))
+            self._class_join(comm_id, earliest, int(latest))
         changes = [CommCreated(comm_id)]
         if earliest == latest:
             self._mark_fixed(comm_id, earliest)
@@ -702,6 +970,7 @@ class SchedulingState:
         trail.set_item(self.lstart, comm_id, latest)
         if latest != INFINITY:
             trail.set_attr(self, "_sum_slack", self._sum_slack + (latest - earliest))
+            self._class_join(comm_id, earliest, int(latest))
         changes = [CommCreated(comm_id)]
         if earliest == latest:
             self._mark_fixed(comm_id, earliest)
@@ -724,8 +993,8 @@ class SchedulingState:
         self.comms.replace(resolved)
         trail = self.trail
         trail.set_item(self._value_flc, value, comm_id)
-        trail.append_to_list(self._comm_edges, (producer, comm_id, self.latency(producer)))
-        trail.append_to_list(self._comm_edges, (comm_id, consumer, self.copy_latency))
+        self._add_comm_edge(producer, comm_id, self.latency(producer))
+        self._add_comm_edge(comm_id, consumer, self.copy_latency)
         changes: List[Change] = [CommResolved(comm_id)]
         changes += self.set_estart(comm_id, self.estart[producer] + self.latency(producer))
         changes += self.set_lstart(comm_id, int(self.lstart[consumer]) - self.copy_latency
@@ -787,8 +1056,32 @@ class SchedulingState:
             (s, d, l) for (s, d, l) in self._comm_edges if s != comm_id and d != comm_id
         ]
         trail.set_attr(self, "_comm_edges", remaining_edges)
+        succ, pred = self._succ_comm, self._pred_comm
+        out_edges = succ.get(comm_id)
+        if out_edges:
+            for dst, _lat in out_edges:
+                trail.set_item(pred, dst, tuple(p for p in pred[dst] if p[0] != comm_id))
+            trail.del_item(succ, comm_id)
+        in_edges = pred.get(comm_id)
+        if in_edges:
+            for src, _lat in in_edges:
+                trail.set_item(succ, src, tuple(s for s in succ[src] if s[0] != comm_id))
+            trail.del_item(pred, comm_id)
         self.comms.remove(comm_id)
         self._invalidate_id_caches()
+        if lstart != INFINITY:
+            # The dropped communication was a member of the COPY aggregate.
+            self._class_recompute(OpClass.COPY)
+
+    def _add_comm_edge(self, src: int, dst: int, latency: int) -> None:
+        """Record a communication dependence edge, keeping the per-op
+        adjacency tuples in sync with ``_comm_edges`` (same insertion
+        order, all through the trail)."""
+        trail = self.trail
+        trail.append_to_list(self._comm_edges, (src, dst, latency))
+        succ, pred = self._succ_comm, self._pred_comm
+        trail.set_item(succ, src, succ.get(src, ()) + ((dst, latency),))
+        trail.set_item(pred, dst, pred.get(dst, ()) + ((src, latency),))
 
     def _register_comm_op(self, comm_id: int, op: Operation) -> None:
         trail = self.trail
@@ -843,7 +1136,7 @@ class SchedulingState:
         n_vcs = self.vcg.n_vcs
         if n_vcs == 0:
             return 0.0
-        return len(self.outedges()) / n_vcs
+        return len(self._outedges()) / n_vcs
 
     def total_slack(self) -> float:
         """Sum of finite ``lstart - estart`` windows over all live operations.

@@ -66,6 +66,10 @@ class DependenceGraph:
         # rebuilt lazily after structural changes.  The scheduler queries
         # these on its hottest paths, and the graph is static once built.
         self._struct_cache: Optional[tuple] = None
+        # Longest-path distances per source and the topological order they
+        # are computed over; invalidated together with the other caches.
+        self._dist_cache: Dict[int, Dict[int, int]] = {}
+        self._topo_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -78,6 +82,8 @@ class DependenceGraph:
         self._graph.add_node(op.op_id)
         self._reach_cache = None
         self._struct_cache = None
+        self._dist_cache = {}
+        self._topo_cache = None
 
     def add_edge(
         self,
@@ -118,6 +124,8 @@ class DependenceGraph:
             self._graph.add_edge(src, dst, kind=kind, latency=latency, value=value)
         self._reach_cache = None
         self._struct_cache = None
+        self._dist_cache = {}
+        self._topo_cache = None
         return DepEdge(src, dst, kind, latency, value)
 
     # ------------------------------------------------------------------ #
@@ -228,17 +236,29 @@ class DependenceGraph:
 
         This is the minimum number of cycles the schedule must place between
         the issue of *u* and the issue of *v* when *u* must precede *v*.
+        The per-source distance map is cached (with the topological order it
+        is swept over), so building the scheduling graph costs one longest-
+        path sweep per source instead of one per queried pair.
         """
         if not self.must_precede(u, v):
             return None
-        dist: Dict[int, int] = {u: 0}
-        for node in nx.topological_sort(self._graph):
-            if node not in dist:
-                continue
-            for succ in self._graph.successors(node):
-                cand = dist[node] + self._graph.edges[node, succ]["latency"]
-                if cand > dist.get(succ, -1):
-                    dist[succ] = cand
+        dist = self._dist_cache.get(u)
+        if dist is None:
+            order = self._topo_cache
+            if order is None:
+                order = self._topo_cache = list(nx.topological_sort(self._graph))
+            dist = {u: 0}
+            edges = self._graph.edges
+            succ_of = self._graph.successors
+            for node in order:
+                if node not in dist:
+                    continue
+                base = dist[node]
+                for succ in succ_of(node):
+                    cand = base + edges[node, succ]["latency"]
+                    if cand > dist.get(succ, -1):
+                        dist[succ] = cand
+            self._dist_cache[u] = dist
         return dist.get(v)
 
     # ------------------------------------------------------------------ #

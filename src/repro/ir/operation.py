@@ -28,6 +28,12 @@ class OpClass(enum.Enum):
     BRANCH = "branch"
     COPY = "copy"
 
+    # Identity hash (C slot): enum.Enum.__hash__ is a Python-level call and
+    # OpClass keys sit on the hottest dict paths of the deduction engine.
+    # Consistent with the default identity __eq__; dict iteration order is
+    # insertion order, so no observable behaviour depends on hash values.
+    __hash__ = object.__hash__
+
     @property
     def is_branch(self) -> bool:
         return self is OpClass.BRANCH

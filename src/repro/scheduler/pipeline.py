@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.deduction.consequence import (
     Change,
@@ -38,7 +38,9 @@ from repro.deduction.consequence import (
     ForbidCycle,
     FuseVCs,
     MarkVCsIncompatible,
+    PinVCs,
     ScheduleInCycle,
+    SetExitDeadlines,
 )
 from repro.deduction.engine import (
     BudgetExhausted,
@@ -51,6 +53,7 @@ from repro.scheduler import candidates as cand
 from repro.scheduler.correctness import validate_schedule
 from repro.scheduler.heuristics import state_score
 from repro.scheduler.schedule import Schedule, ScheduledComm
+from repro.sgraph.combination import pair_key
 from repro.vcluster.mapping import map_virtual_to_physical
 
 #: Canonical stage names, in the paper's order (extraction included: the
@@ -94,7 +97,79 @@ def new_probe_stats() -> Dict[str, int]:
         "trail_entries_undone": 0,
         "probe_cache_hits": 0,
         "probe_cache_misses": 0,
+        "candidates_pruned": 0,
+        "early_cut_skips": 0,
     }
+
+
+class PipelineConfig(Protocol):
+    """The configuration surface the pipeline and its stages read.
+
+    Structurally matched by :class:`repro.scheduler.vcs.VcsConfig` (a
+    Protocol avoids the circular import); read-only properties so frozen
+    or mutable config objects both conform."""
+
+    @property
+    def use_trail(self) -> bool: ...
+
+    @property
+    def stage1_max_decisions(self) -> int: ...
+
+    @property
+    def stage1_slack_limit(self) -> float: ...
+
+    @property
+    def cycle_candidates(self) -> int: ...
+
+    @property
+    def use_matching(self) -> bool: ...
+
+    @property
+    def prune_candidates(self) -> bool: ...
+
+    @property
+    def probe_early_cut(self) -> bool: ...
+
+
+def canonical_decision(decision: Decision) -> tuple:
+    """A normalized, hashable cache-key component for one decision.
+
+    Two decisions that provably run the same deduction share a key:
+    combination choices/discards are normalized to pair-key orientation —
+    ``SchedulingState.choose_combination``/``discard_combination``
+    themselves rewrite ``(u, v, d)`` to ``(v, u, -d)`` when the pair is
+    reversed, so both spellings mutate identically.  VC fusions and
+    incompatibilities keep their pair orientation (``VCsFused(u, v)``
+    change events expose the field order, so reversed requests are *not*
+    interchangeable).  The caller preserves sequence order: applying the
+    same decisions in a different order is a different deduction."""
+    if isinstance(decision, ScheduleInCycle):
+        return ("sic", decision.op_id, decision.cycle)
+    if isinstance(decision, ForbidCycle):
+        return ("forbid", decision.op_id, decision.cycle)
+    if isinstance(decision, (ChooseCombination, DiscardCombination)):
+        key = pair_key(decision.u, decision.v)
+        distance = decision.distance if key == (decision.u, decision.v) else -decision.distance
+        tag = "choose" if isinstance(decision, ChooseCombination) else "discard"
+        return (tag, key[0], key[1], distance)
+    if isinstance(decision, FuseVCs):
+        return ("fuse", decision.pairs)
+    if isinstance(decision, MarkVCsIncompatible):
+        return ("incompatible", decision.pairs)
+    if isinstance(decision, SetExitDeadlines):
+        # from_mapping already sorts the deadline items.
+        return ("deadlines", decision.deadlines)
+    if isinstance(decision, PinVCs):
+        return ("pins", decision.pins)
+    return (type(decision).__name__, decision)
+
+
+def probe_cache_key(state: SchedulingState, decisions: Sequence[Decision]) -> tuple:
+    """The shared probe-cache key: state epoch plus canonical decisions."""
+    return (
+        state.state_token(),
+        tuple(canonical_decision(decision) for decision in decisions),
+    )
 
 
 @dataclass
@@ -144,9 +219,18 @@ class ProbeCache:
         return self._entries.get(key)
 
     def put(self, key: tuple, entry: CachedDeduction) -> None:
-        if len(self._entries) >= self.max_entries:
-            self._entries.clear()
-        self._entries[key] = entry
+        entries = self._entries
+        if len(entries) >= self.max_entries and key not in entries:
+            # Evict, but retain entries keyed at the incoming entry's state
+            # token: the cycle-pinning stage records every candidate of a
+            # probe round at one token and replays the round's winner from
+            # the cache, so those entries must survive a mid-round eviction
+            # (replay_memo treats a missing winner as a hard error).
+            token = key[0]
+            survivors = {k: v for k, v in entries.items() if k[0] == token}
+            entries.clear()
+            entries.update(survivors)
+        entries[key] = entry
 
 
 class ProbeEngine:
@@ -159,15 +243,23 @@ class ProbeEngine:
     sequence and must produce byte-identical schedules.
     """
 
-    def __init__(self, config, stats: Optional[Dict[str, int]] = None) -> None:
+    def __init__(self, config: PipelineConfig, stats: Optional[Dict[str, int]] = None) -> None:
         self.config = config
         self.stats = stats if stats is not None else new_probe_stats()
         self.deadline: Optional[float] = None
         self._cache: Optional[ProbeCache] = None
+        #: A successful memoized probe awaiting its rollback capture:
+        #: ``(key, result, work_split, mark)`` — see :meth:`probe_memo`.
+        self._pending: Optional[Tuple[tuple, DeductionResult, Dict[str, int], int]] = None
 
     @property
     def use_trail(self) -> bool:
         return self.config.use_trail
+
+    def memoizes(self, state: SchedulingState) -> bool:
+        """Whether probes on *state* go through the memoization cache."""
+        cache = self._cache
+        return cache is not None and cache.state is state
 
     def attach_cache(self, state: SchedulingState) -> None:
         """Enable probe memoization for in-place deductions on *state*.
@@ -232,7 +324,7 @@ class ProbeEngine:
         cache = self._cache
         if cache is None or cache.state is not state:
             return self.apply_sequence(dp, state, decisions, budget)
-        key = (state.state_token(), tuple(decisions))
+        key = probe_cache_key(state, decisions)
         entry = cache.get(key)
         if entry is not None:
             self.stats["probe_cache_hits"] += 1
@@ -315,6 +407,123 @@ class ProbeEngine:
         self.stats["copies_avoided"] += 1
         return mark, self.apply_sequence(dp, state, decisions, budget)
 
+    def probe_memo(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
+        budget: WorkBudget,
+    ) -> Tuple[int, DeductionResult]:
+        """Trail probe with write-through memoization.
+
+        Requires :meth:`memoizes` to hold for *state*.  A completed
+        deduction of the same canonical decisions at the same state token
+        is replayed instead of re-run: its work is charged to the budget
+        block-wise (same exhaustion semantics as the live unit charges of
+        a deterministic re-deduction) and its per-rule split re-added, so
+        the compile-effort accounting is identical either way; successful
+        outcomes re-apply their recorded mutations through the trail's
+        redo.  On a miss the decisions run live: a success is held pending
+        for the matching :meth:`rollback_memo` to capture (the redo log
+        only exists once the span is rolled back), while a contradiction
+        is stored immediately — its partial mutations are rolled back by
+        the caller and never observed, so no log is needed."""
+        cache = self._cache
+        assert cache is not None and cache.state is state
+        self._pending = None
+        key = probe_cache_key(state, decisions)
+        mark = state.checkpoint()
+        entry = cache.get(key)
+        if entry is not None:
+            self.stats["probe_cache_hits"] += 1
+            if entry.work:
+                budget.charge_block(entry.work)
+            work_by_rule = dp.work_by_rule
+            for name, count in entry.work_split.items():
+                work_by_rule[name] = work_by_rule.get(name, 0) + count
+            if entry.log is not None:
+                state.redo(entry.log)
+            return mark, DeductionResult(
+                state=state,
+                consequences=list(entry.consequences),
+                contradiction=entry.contradiction,
+                work=entry.work,
+            )
+        self.stats["probe_cache_misses"] += 1
+        self.stats["probes"] += 1
+        self.stats["copies_avoided"] += 1
+        split_before = dict(dp.work_by_rule)
+        result = self.apply_sequence(dp, state, decisions, budget)
+        work_split = {
+            name: count - split_before.get(name, 0)
+            for name, count in dp.work_by_rule.items()
+            if count != split_before.get(name, 0)
+        }
+        if result.ok:
+            self._pending = (key, result, work_split, mark)
+        else:
+            cache.put(
+                key,
+                CachedDeduction(
+                    contradiction=result.contradiction,
+                    work=result.work,
+                    work_split=work_split,
+                    consequences=tuple(result.consequences),
+                    log=None,
+                ),
+            )
+        return mark, result
+
+    def rollback_memo(self, state: SchedulingState, mark: int) -> None:
+        """Roll a memoized probe back to *mark*.
+
+        When the probe was a successful cache miss (held pending by
+        :meth:`probe_memo`), the rollback captures the span's redo log and
+        stores the completed entry — the state is back at the keyed token,
+        so the log replays exactly there.  Hits and contradictions roll
+        back plainly (their entries already exist or need no log)."""
+        pending = self._pending
+        if pending is not None and pending[3] == mark:
+            self._pending = None
+            key, result, work_split, _ = pending
+            log = self.rollback_capture(state, mark)
+            cache = self._cache
+            assert cache is not None
+            cache.put(
+                key,
+                CachedDeduction(
+                    contradiction=None,
+                    work=result.work,
+                    work_split=work_split,
+                    consequences=tuple(result.consequences),
+                    log=log,
+                ),
+            )
+            return
+        self.rollback(state, mark)
+
+    def replay_memo(self, state: SchedulingState, decisions: Sequence[Decision]) -> None:
+        """Keep a probe-round winner by replaying its memoized redo log.
+
+        No budget charge and no work-split re-add: the winner's work was
+        charged when it was probed, exactly like the capture-based keep
+        path (:meth:`redo`).  The entry is guaranteed present — every keep
+        follows a probe of the same decisions at the same token, and cache
+        eviction retains the current token's entries — so a miss means the
+        keep would silently re-deduce and double-charge; raise loudly
+        instead."""
+        cache = self._cache
+        assert cache is not None and cache.state is state
+        entry = cache.get(probe_cache_key(state, decisions))
+        if entry is None or entry.log is None:
+            raise RuntimeError(
+                "probe cache lost the winning candidate's entry; a memoized "
+                "keep would re-run the deduction and skew the work accounting"
+            )
+        self.stats["probe_cache_hits"] += 1
+        self.stats["redos"] += 1
+        state.redo(entry.log)
+
     def rollback(self, state: SchedulingState, mark: int) -> None:
         self.stats["rollbacks"] += 1
         self.stats["trail_entries_undone"] += state.rollback(mark)
@@ -361,7 +570,7 @@ class StageContext:
 
     dp: DeductionProcess
     budget: WorkBudget
-    config: object
+    config: PipelineConfig
     engine: ProbeEngine
     #: Per-op cycle hints (e.g. from a CARS pre-pass in the hybrid
     #: backend); biases cycle-candidate selection in the pinning stages.
@@ -527,22 +736,77 @@ class _FixCyclesBody:
             cycles = cand.cycle_candidates(state, op_id, n_candidates, hint=hint)
             earliest_contradicts = False
             if use_trail:
-                best: Optional[Tuple[Tuple, int, List[tuple]]] = None  # (score, cycle, redo log)
-                for cycle in cycles:
-                    mark, study = engine.probe(
-                        ctx.dp, state, [ScheduleInCycle(op_id, cycle)], ctx.budget
-                    )
+                if config.prune_candidates:
+                    # Opt-in: drop candidates whose probe provably
+                    # contradicts on saturated resources (same winner,
+                    # less dp_work — the skipped deductions change the
+                    # work accounting, hence not default-on).
+                    cycles, pruned = cand.prune_cycle_candidates(state, op_id, cycles)
+                    engine.stats["candidates_pruned"] += pruned
+                early_cut = config.probe_early_cut
+                flc_floor = comp_base = 0.0
+                estart_base = state.estart[op_id]
+                if early_cut:
+                    # Optimistic score floor for any candidate probed from
+                    # this round's state: communications are only ever
+                    # created or resolved during a deduction (never
+                    # dropped — only unresolved PLCs are, at stage-6
+                    # entry), so the fully-linked count is a floor on the
+                    # score's n_communications; original estarts are
+                    # monotone under deduction, so compactness is floored
+                    # by the current sum plus this operation's own shift.
+                    flc_floor = float(len(state.comms.fully_linked()))
+                    comp_base = state.compactness()
+                # Whether probes on this state go through the memoization
+                # cache (trail mode on the scheduler's shared state with
+                # probe_cache enabled): candidates then probe through
+                # probe_memo and the winner replays from the cache instead
+                # of carrying a captured redo log.
+                memo = engine.memoizes(state)
+                decision_of = {cycle: ScheduleInCycle(op_id, cycle) for cycle in cycles}
+                best: Optional[Tuple[Tuple, int, Optional[List[tuple]]]] = None
+                for index, cycle in enumerate(cycles):
+                    if early_cut and best is not None:
+                        bound_comp = (
+                            comp_base if communications else comp_base + (cycle - estart_base)
+                        )
+                        if (flc_floor, bound_comp) > (best[0][0], best[0][1]):
+                            # Every later candidate's floor is at least
+                            # this one's (cycles ascend): no remaining
+                            # cycle can beat the current (score, cycle)
+                            # winner lexicographically.
+                            engine.stats["early_cut_skips"] += len(cycles) - index
+                            break
+                    if memo:
+                        mark, study = engine.probe_memo(
+                            ctx.dp, state, [decision_of[cycle]], ctx.budget
+                        )
+                    else:
+                        mark, study = engine.probe(
+                            ctx.dp, state, [decision_of[cycle]], ctx.budget
+                        )
                     if study.ok:
                         score = state_score(state)
-                        log = engine.rollback_capture(state, mark)
+                        if memo:
+                            engine.rollback_memo(state, mark)
+                            log: Optional[List[tuple]] = None
+                        else:
+                            log = engine.rollback_capture(state, mark)
                         if best is None or (score, cycle) < (best[0], best[1]):
                             best = (score, cycle, log)
                     else:
-                        engine.rollback(state, mark)
+                        if memo:
+                            engine.rollback_memo(state, mark)
+                        else:
+                            engine.rollback(state, mark)
                         if cycle == state.estart[op_id]:
                             earliest_contradicts = True
                 if best is not None:
-                    engine.redo(state, best[2])
+                    if memo:
+                        engine.replay_memo(state, [decision_of[best[1]]])
+                    else:
+                        assert best[2] is not None
+                        engine.redo(state, best[2])
                     continue
             else:
                 viable: List[Tuple[Tuple, int, SchedulingState]] = []
@@ -728,7 +992,8 @@ class ExtractionStage:
         for comm in state.comms.fully_linked():
             if not state.is_fixed(comm.comm_id):
                 return None
-            src = clusters.get(comm.producer, 0)
+            producer = comm.producer
+            src = clusters.get(producer, 0) if producer is not None else 0
             dst = clusters.get(comm.consumer) if comm.consumer is not None else None
             comms.append(
                 ScheduledComm(
@@ -749,7 +1014,7 @@ class ExtractionStage:
 
 
 #: Stage name -> constructor, in the paper's order.
-STAGE_FACTORIES = {
+STAGE_FACTORIES: Dict[str, Callable[[], DecisionStage]] = {
     STAGE_COMBINATIONS: CombinationsStage,
     STAGE_FIX_CYCLES: FixCyclesStage,
     STAGE_ELIMINATE_OUTEDGES: EliminateOutedgesStage,
@@ -810,7 +1075,7 @@ class StagePipeline:
 
     @classmethod
     def from_config(cls, config) -> "StagePipeline":
-        return cls(STAGE_FACTORIES[name]() for name in resolve_stage_order(config))
+        return cls(tuple(STAGE_FACTORIES[name]() for name in resolve_stage_order(config)))
 
     @property
     def stage_names(self) -> Tuple[str, ...]:
@@ -818,13 +1083,14 @@ class StagePipeline:
 
     def run(self, ctx: StageContext, state: SchedulingState) -> Optional[SchedulingState]:
         ctx.schedule = None
+        current: Optional[SchedulingState] = state
         for stage in self.stages:
             ctx.engine.check_time()
             t0 = time.perf_counter()
             try:
-                state = stage.run(ctx, state)
+                current = stage.run(ctx, current)
             finally:
                 ctx.record_timing(stage.name, time.perf_counter() - t0)
-            if state is None:
+            if current is None:
                 return None
-        return state
+        return current

@@ -138,6 +138,18 @@ class VcsConfig:
     #: state (the minAWCT tightening loop).  Trail mode only; copy mode
     #: ignores the flag, keeping the copy oracle cache-free.
     probe_cache: bool = True
+    #: Drop cycle-pinning candidates whose probe provably contradicts on
+    #: saturated per-cycle resources before probing them (see
+    #: :func:`repro.scheduler.candidates.prune_cycle_candidates`).  The
+    #: winning ``(score, cycle)`` is unchanged, but the skipped probes'
+    #: deductions no longer charge the work budget, so ``dp_work`` differs
+    #: from the gated oracle — opt-in, like ``queue_mode="tiered"``.
+    prune_candidates: bool = False
+    #: Stop probing a cycle-pinning round as soon as an optimistic score
+    #: bound proves that no remaining candidate cycle can beat the current
+    #: ``(score, cycle)`` winner.  Same winner, fewer probes — changes
+    #: ``dp_work``, hence opt-in.
+    probe_early_cut: bool = False
 
     # ------------------------------------------------------------------ #
     # serialisation (CLI / JSON / environment configuration surface)

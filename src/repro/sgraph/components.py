@@ -159,6 +159,10 @@ class OffsetUnionFind:
             members.append((other, other_off - base))
         return sorted(members)
 
+    def component_size(self, element: int) -> int:
+        """Number of members in *element*'s component (one root walk)."""
+        return len(self._members[self.find(element)[0]])
+
     def components(self) -> List[List[int]]:
         """All components as sorted lists of members."""
         return sorted(sorted(group) for group in self._members.values())

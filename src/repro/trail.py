@@ -190,23 +190,52 @@ class Trail:
 
     def redo(self, log: List[tuple]) -> None:
         """Re-apply a redo log from :meth:`rollback_capture`, re-recording
-        every mutation so the redone span can itself be rolled back."""
+        every mutation so the redone span can itself be rolled back.
+
+        The undo entries are appended directly instead of going through the
+        recording mutators: the log was captured from real mutations on a
+        byte-identical state, so every mutator guard (key present before a
+        delete, item absent before a set add, ...) is known to hold and the
+        membership re-checks would be pure overhead on what is the single
+        hottest call of the winner-keeping path."""
+        entries = self._entries
         for tag, target, a, b in log:
             if tag == _SET:
                 if b is MISSING:
-                    self.del_item(target, a)
+                    entries.append((_SET, target, a, target[a]))
+                    if self._era_broken:
+                        self._start_era()
+                    del target[a]
                 else:
-                    self.set_item(target, a, b)
+                    entries.append((_SET, target, a, target.get(a, MISSING)))
+                    if self._era_broken:
+                        self._start_era()
+                    target[a] = b
             elif tag == _ADD:
-                self.add_to_set(target, a)
+                entries.append((_ADD, target, a, None))
+                if self._era_broken:
+                    self._start_era()
+                target.add(a)
             elif tag == _DISCARD:
-                self.discard_from_set(target, a)
+                entries.append((_DISCARD, target, a, None))
+                if self._era_broken:
+                    self._start_era()
+                target.discard(a)
             elif tag == _APPEND:
-                self.append_to_list(target, a)
+                entries.append((_APPEND, target, None, None))
+                if self._era_broken:
+                    self._start_era()
+                target.append(a)
             elif tag == _EXTEND:
-                self.extend_list(target, a)
+                entries.append((_EXTEND, target, len(target), None))
+                if self._era_broken:
+                    self._start_era()
+                target.extend(a)
             else:  # _ATTR
-                self.set_attr(target, a, b)
+                entries.append((_ATTR, target, a, getattr(target, a)))
+                if self._era_broken:
+                    self._start_era()
+                setattr(target, a, b)
 
     # ------------------------------------------------------------------ #
     # recording mutators (record *and* apply)
