@@ -29,6 +29,13 @@ the ``membound``/``exitdense`` workload families) records a gated
 cell, so interconnect-topology and workload-family behaviour is
 byte-tracked like the default configurations.
 
+A ``policy`` section records the anytime-quality curve of the budget
+policy layer: each block re-scheduled under a ``finalize_partial``
+policy at 25/50/75/100% of its own full-run ``dp_work``, with mean AWCT
+ratios vs the full run and vs pure CARS, tier transitions and the
+partial-finalize rate (the gate requires the section and warns on curve
+drift).
+
 The trail-mode workload is run twice through the parallel batch runner
 (``repro.runner``): once serially and once with ``--jobs`` workers, so
 the report also records the sharded runner's wall-time throughput and
@@ -300,6 +307,102 @@ def measure_scenarios() -> dict:
     }
 
 
+#: The anytime-quality sample: budget fractions of each block's own full-run
+#: ``dp_work`` (deterministic, so the recorded curve is environment
+#: independent) under a ``finalize_partial`` policy, on one machine.
+POLICY_FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+
+
+def measure_policy(n_synth: int) -> dict:
+    """The anytime-quality curve of the budget-policy layer (current tree).
+
+    For every bench block: measure the full (unlimited) VCS run's
+    ``dp_work``, then re-run under a ``finalize_partial`` policy whose
+    ``max_dp_work`` is 25/50/75/100% of that — each run emits a complete
+    valid schedule (partial extraction, fallback, or the real thing) —
+    and record AWCT relative to the full run and to the pure-CARS
+    baseline, plus tier transitions and the partial-finalize rate.  All
+    recorded values are deterministic; the perf gate requires the section
+    to exist and warns (never fails) on curve drift."""
+    from repro.machine import paper_4c_16i_1lat
+    from repro.scheduler import (
+        CarsScheduler,
+        SchedulePolicy,
+        VcsConfig,
+        VirtualClusterScheduler,
+    )
+
+    namespace: dict = {"__name__": "bench_driver"}
+    exec(compile(DRIVER, "<driver>", "exec"), namespace)
+    blocks = namespace["build_workload"](n_synth)
+    machine = paper_4c_16i_1lat()
+
+    t0 = time.perf_counter()
+    per_block = []
+    totals = {
+        fraction: {"vs_full": 0.0, "vs_cars": 0.0, "partial": 0, "fallback": 0}
+        for fraction in POLICY_FRACTIONS
+    }
+    n_blocks = 0
+    for block in blocks:
+        full = VirtualClusterScheduler().schedule(block, machine)
+        cars = CarsScheduler().schedule(block, machine)
+        if not (full.ok and cars.ok):
+            continue
+        n_blocks += 1
+        row = {
+            "block": block.name,
+            "full_dp_work": full.work,
+            "full_awct": full.awct,
+            "cars_awct": cars.awct,
+            "points": [],
+        }
+        for fraction in POLICY_FRACTIONS:
+            limit = max(1, int(full.work * fraction))
+            policy = SchedulePolicy(exhaustion_mode="finalize_partial", max_dp_work=limit)
+            result = VirtualClusterScheduler(VcsConfig(policy=policy)).schedule(
+                block, machine
+            )
+            info = result.policy or {}
+            row["points"].append(
+                {
+                    "fraction": fraction,
+                    "dp_limit": limit,
+                    "awct": result.awct if result.ok else None,
+                    "source": info.get("source"),
+                    "tier": info.get("tier"),
+                    "partial_finalize": bool(info.get("partial_finalize")),
+                    "tier_transitions": [t["tier"] for t in info.get("transitions", [])],
+                }
+            )
+            totals[fraction]["vs_full"] += result.awct / full.awct
+            totals[fraction]["vs_cars"] += result.awct / cars.awct
+            totals[fraction]["partial"] += bool(info.get("partial_finalize"))
+            totals[fraction]["fallback"] += bool(result.fallback_used)
+        per_block.append(row)
+
+    curve = [
+        {
+            "fraction": fraction,
+            "mean_awct_ratio_vs_full": entry["vs_full"] / n_blocks,
+            "mean_awct_ratio_vs_cars": entry["vs_cars"] / n_blocks,
+            "partial_finalize_rate": entry["partial"] / n_blocks,
+            "fallback_rate": entry["fallback"] / n_blocks,
+        }
+        for fraction, entry in totals.items()
+    ]
+    return {
+        "config": {
+            "machine": machine.name,
+            "mode": "finalize_partial",
+            "fractions": list(POLICY_FRACTIONS),
+        },
+        "wall_time_s": time.perf_counter() - t0,
+        "anytime_curve": curve,
+        "blocks": per_block,
+    }
+
+
 def deduction_counters(report: dict) -> dict:
     """Aggregate the deduction-layer counters of one driver report.
 
@@ -477,6 +580,8 @@ def main() -> int:
     backends = measure_backends(args.blocks)
     print("[bench] current tree, scenario-matrix sample (ring/p2p x workload families)...")
     scenarios = measure_scenarios()
+    print("[bench] current tree, anytime policy curve (finalize_partial @ 25/50/75/100%)...")
+    policy = measure_policy(args.blocks)
     if args.cprofile > 0:
         print(f"[bench] current tree, cProfile of the trail-mode vcs leg (top {args.cprofile})...")
         profile_vcs_leg(args.blocks, args.cprofile, args.cprofile_output)
@@ -532,6 +637,7 @@ def main() -> int:
         },
         "backends": backends,
         "scenarios": scenarios,
+        "policy": policy,
         "deduction": {
             **deduction_counters(trail),
             "fix_cycles_wall_share": fix_cycles_wall_share(
@@ -601,6 +707,13 @@ def main() -> int:
         f"[bench] scenario sample: {n_cells} cells over {'/'.join(topologies)} "
         f"in {scenarios['wall_time_s']:.2f}s"
     )
+    curve_text = " | ".join(
+        f"{point['fraction']:.0%}: {point['mean_awct_ratio_vs_full']:.3f}x full, "
+        f"{point['mean_awct_ratio_vs_cars']:.3f}x cars, "
+        f"partial {point['partial_finalize_rate']:.0%}"
+        for point in policy["anytime_curve"]
+    )
+    print(f"[bench] anytime curve ({policy['config']['machine']}): {curve_text}")
     vcs_stages = backends.get("vcs", {}).get("stage_timings", {})
     if vcs_stages:
         breakdown = " | ".join(

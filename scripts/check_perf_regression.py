@@ -171,6 +171,69 @@ def report_deduction_drift(old_section, new_section) -> None:
         print(f"[gate] fix-cycles wall share: {new_share:.1%} (no committed value; not gated)")
 
 
+def check_policy(old_section, new_section, errors: list) -> None:
+    """The anytime-policy section: presence gated, curve drift warned.
+
+    The curve's inputs are deterministic (dp_work-fraction budgets,
+    deterministic scheduling), but the curve is a quality trajectory, not
+    a byte-identity invariant: legitimate scheduler changes move it.  So
+    a missing section fails the gate — ``bench_report.py`` silently
+    stopped recording degradation quality — while value drift is
+    surfaced as warnings for a human to judge."""
+    if new_section is None:
+        if old_section is not None:
+            errors.append(
+                "fresh report is missing the 'policy' anytime-curve section the "
+                "committed report has (bench_report.py no longer measuring "
+                "budget-policy degradation quality?)"
+            )
+        return
+    if old_section is None:
+        print("[gate] committed report predates the policy anytime curve; not compared")
+        return
+    if old_section.get("config") != new_section.get("config"):
+        print(
+            "[gate] WARNING policy curve configuration changed "
+            f"({old_section.get('config')} -> {new_section.get('config')}); "
+            "values not compared (not gated)"
+        )
+        return
+    old_curve = {point["fraction"]: point for point in old_section.get("anytime_curve", [])}
+    new_curve = {point["fraction"]: point for point in new_section.get("anytime_curve", [])}
+    for fraction in sorted(set(old_curve) | set(new_curve)):
+        old = old_curve.get(fraction)
+        new = new_curve.get(fraction)
+        if old is None or new is None:
+            print(
+                f"[gate] WARNING policy curve fraction {fraction} "
+                f"{'appeared' if old is None else 'disappeared'} (not gated)"
+            )
+            continue
+        for key in (
+            "mean_awct_ratio_vs_full",
+            "mean_awct_ratio_vs_cars",
+            "partial_finalize_rate",
+            "fallback_rate",
+        ):
+            old_value, new_value = old.get(key), new.get(key)
+            if old_value is None or new_value is None:
+                continue
+            if abs(new_value - old_value) > 1e-9:
+                print(
+                    f"[gate] WARNING policy curve @{fraction:.0%} {key}: "
+                    f"{old_value:.4f} -> {new_value:.4f} (not gated)"
+                )
+    matched = [
+        fraction
+        for fraction in sorted(set(old_curve) & set(new_curve))
+    ]
+    if matched:
+        print(
+            f"[gate] policy anytime curve: {len(matched)} budget fractions compared "
+            "(drift warns, presence gated)"
+        )
+
+
 def scenario_cells(section: dict) -> dict:
     return {
         (cell["machine"], cell["workload_family"], cell["backend"]): cell
@@ -302,6 +365,7 @@ def main() -> int:
         )
 
     check_scenarios(committed.get("scenarios"), fresh.get("scenarios"), errors)
+    check_policy(committed.get("policy"), fresh.get("policy"), errors)
     check_deduction_blocks(fresh.get("deduction"), errors)
     report_deduction_drift(committed.get("deduction"), fresh.get("deduction"))
 

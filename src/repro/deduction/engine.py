@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.deduction.consequence import (
     Change,
@@ -43,19 +43,40 @@ class BudgetExhausted(Exception):
     """The scheduler's work budget ran out (compile-time threshold hit)."""
 
 
+def budget_exhausted_message(limit: int, spent: int) -> str:
+    """The one exhaustion message of every raise path.
+
+    :meth:`WorkBudget.charge`, :meth:`WorkBudget.charge_block` and the
+    inlined fast loop of :meth:`DeductionProcess.apply` all raise through
+    this helper, so the message (and the ``spent`` value it reports) cannot
+    drift between the unit-by-unit and block accounting paths."""
+    return f"work budget of {limit} units exhausted ({spent} spent)"
+
+
 @dataclass
 class WorkBudget:
-    """A deterministic compile-effort budget shared across DP invocations."""
+    """A deterministic compile-effort budget shared across DP invocations.
+
+    An optional *observer* is notified when ``spent`` reaches
+    ``notify_at`` — the tier-transition hook of
+    :class:`repro.scheduler.policy.PolicyTracker`.  The observer is
+    expected to advance (or clear) ``notify_at`` itself; with
+    ``notify_at`` unset the charge paths are exactly the bare counters,
+    and the deduction engine keeps its inlined fast loop."""
 
     limit: Optional[int] = None
     spent: int = 0
+    #: Called as ``observer(budget)`` when ``spent`` crosses ``notify_at``.
+    observer: Optional[Callable[["WorkBudget"], None]] = None
+    #: The next ``spent`` value at which the observer fires (None = never).
+    notify_at: Optional[int] = None
 
     def charge(self, amount: int = 1) -> None:
         self.spent += amount
         if self.limit is not None and self.spent > self.limit:
-            raise BudgetExhausted(
-                f"work budget of {self.limit} units exhausted ({self.spent} spent)"
-            )
+            raise BudgetExhausted(budget_exhausted_message(self.limit, self.spent))
+        if self.notify_at is not None and self.spent >= self.notify_at:
+            self._notify()
 
     def charge_block(self, amount: int) -> None:
         """Charge *amount* units with the same exhaustion semantics as
@@ -64,11 +85,17 @@ class WorkBudget:
         ``spent`` must match the unit-by-unit accounting exactly)."""
         if self.limit is None or self.spent + amount <= self.limit:
             self.spent += amount
+            if self.notify_at is not None and self.spent >= self.notify_at:
+                self._notify()
             return
         self.spent = self.limit + 1
-        raise BudgetExhausted(
-            f"work budget of {self.limit} units exhausted ({self.spent} spent)"
-        )
+        raise BudgetExhausted(budget_exhausted_message(self.limit, self.spent))
+
+    def _notify(self) -> None:
+        if self.observer is not None:
+            self.observer(self)
+        elif self.notify_at is not None and self.spent >= self.notify_at:
+            self.notify_at = None  # nobody listening; stop checking
 
     @property
     def remaining(self) -> Optional[int]:
@@ -223,12 +250,14 @@ class DeductionProcess:
         charge = budget.charge if budget is not None else None
         try:
             fifo = self.queue_mode == "fifo"
-            if fifo and indexed:
+            if fifo and indexed and (budget is None or budget.notify_at is None):
                 # The default worklist stays a bare deque, and the default
                 # dispatch loop binds every per-event operation to a local:
                 # this is the hottest loop in the code base and each saved
                 # attribute walk or method call is paid a million times per
-                # scheduling run.
+                # scheduling run.  A budget carrying a tier-transition mark
+                # (``notify_at``) instead takes the generic loop below,
+                # whose per-firing ``charge()`` fires the policy observer.
                 queue: Deque[Change] = deque(self._expand(working, decision))
                 consequences.extend(queue)
                 popleft = queue.popleft
@@ -282,8 +311,7 @@ class DeductionProcess:
                             b_spent += 1
                             if b_limit is not None and b_spent > b_limit:
                                 raise BudgetExhausted(
-                                    f"work budget of {b_limit} units exhausted "
-                                    f"({b_spent} spent)"
+                                    budget_exhausted_message(b_limit, b_spent)
                                 )
                             produced = rule.fire(working, change)
                             if produced:

@@ -11,6 +11,9 @@
   scheduler with naive cluster assignment, useful as a sanity reference.
 * :class:`~repro.scheduler.registry.HybridScheduler` — a CARS pre-pass
   seeding the VCS cycle-candidate windows.
+* :class:`~repro.scheduler.policy.SchedulePolicy` — anytime-scheduling
+  budget policies: spend limits with status tiers, graceful degradation
+  on exhaustion (``finalize_partial``) and leftover-budget refinement.
 
 All backends are registered by name in :mod:`repro.scheduler.registry`
 (``create("vcs" | "cars" | "list" | "hybrid", ...)``) and produce a
@@ -32,6 +35,13 @@ from repro.scheduler.pipeline import (
     UnknownStageError,
     available_stages,
     resolve_stage_order,
+)
+from repro.scheduler.policy import (
+    TIERS,
+    PolicyTracker,
+    SchedulePolicy,
+    cheap_extraction,
+    partial_cluster_hints,
 )
 from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
 from repro.scheduler.registry import (
@@ -64,6 +74,11 @@ __all__ = [
     "UnknownStageError",
     "available_stages",
     "resolve_stage_order",
+    "TIERS",
+    "PolicyTracker",
+    "SchedulePolicy",
+    "cheap_extraction",
+    "partial_cluster_hints",
     "VcsConfig",
     "VirtualClusterScheduler",
     "BackendInfo",

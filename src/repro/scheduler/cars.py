@@ -44,15 +44,30 @@ class CarsScheduler:
         cluster with free resources (used by :class:`ListScheduler`).
     max_cycles:
         Safety bound on schedule length.
+    cluster_hints:
+        Optional per-operation preferred clusters.  A hinted operation's
+        candidate ranking is prefixed with "is this the hinted cluster?",
+        so the hint wins whenever it is feasible while resource conflicts
+        still override it.  This is how the policy layer's
+        ``finalize_partial`` extraction replays the virtual-cluster
+        decisions of a partially-deduced state through the list scheduler
+        (see :mod:`repro.scheduler.policy`).  ``None`` (the default)
+        leaves the ranking untouched.
     """
 
     name = "CARS"
 
-    def __init__(self, cluster_policy: str = "cars", max_cycles: int = 10_000) -> None:
+    def __init__(
+        self,
+        cluster_policy: str = "cars",
+        max_cycles: int = 10_000,
+        cluster_hints: Optional[Dict[int, int]] = None,
+    ) -> None:
         if cluster_policy not in ("cars", "naive"):
             raise ValueError(f"unknown cluster policy {cluster_policy!r}")
         self.cluster_policy = cluster_policy
         self.max_cycles = max_cycles
+        self.cluster_hints = cluster_hints
 
     # ------------------------------------------------------------------ #
     # public API
@@ -106,6 +121,9 @@ class CarsScheduler:
                         cost = (cluster,)
                     else:
                         cost = (len(copies), load, cluster)
+                        hint = None if self.cluster_hints is None else self.cluster_hints.get(op_id)
+                        if hint is not None:
+                            cost = ((0 if cluster == hint else 1),) + cost
                     if best is None or cost < best[0]:
                         best = (cost, cluster, copies)
                 if best is None:

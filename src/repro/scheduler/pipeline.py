@@ -28,7 +28,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.deduction.consequence import (
     Change,
@@ -55,6 +64,9 @@ from repro.scheduler.heuristics import state_score
 from repro.scheduler.schedule import Schedule, ScheduledComm
 from repro.sgraph.combination import pair_key
 from repro.vcluster.mapping import map_virtual_to_physical
+
+if TYPE_CHECKING:
+    from repro.scheduler.policy import PolicyTracker
 
 #: Canonical stage names, in the paper's order (extraction included: the
 #: pipeline always ends by turning the final state into a schedule).
@@ -251,6 +263,20 @@ class ProbeEngine:
         #: A successful memoized probe awaiting its rollback capture:
         #: ``(key, result, work_split, mark)`` — see :meth:`probe_memo`.
         self._pending: Optional[Tuple[tuple, DeductionResult, Dict[str, int], int]] = None
+        #: Optional :class:`~repro.scheduler.policy.PolicyTracker`: counts
+        #: probes (and can raise on probe-budget exhaustion) via
+        #: :meth:`PolicyTracker.note_probe`.
+        self.tracker: Optional["PolicyTracker"] = None
+        #: When set (``finalize_partial`` policies in trail mode), a
+        #: :class:`BudgetExhausted` raised mid-deduction rolls the state
+        #: back to the sequence's entry checkpoint before propagating, so
+        #: the exhaustion handler sees a consistent best-so-far state
+        #: instead of a half-applied decision.
+        self.recover_on_exhaustion = False
+
+    def _note_probe(self) -> None:
+        if self.tracker is not None:
+            self.tracker.note_probe()
 
     @property
     def use_trail(self) -> bool:
@@ -282,7 +308,27 @@ class ProbeEngine:
     ) -> DeductionResult:
         """Apply *decisions* to *state* in place, accumulating consequences
         and work across the whole sequence (multi-decision studies report
-        the total, not just the last decision's share)."""
+        the total, not just the last decision's share).
+
+        With :attr:`recover_on_exhaustion`, budget exhaustion mid-sequence
+        rolls the state back to the entry checkpoint before re-raising —
+        partial mutations of the aborted deduction never escape."""
+        if self.recover_on_exhaustion:
+            mark = state.checkpoint()
+            try:
+                return self._apply_sequence(dp, state, decisions, budget)
+            except BudgetExhausted:
+                state.rollback(mark)
+                raise
+        return self._apply_sequence(dp, state, decisions, budget)
+
+    def _apply_sequence(
+        self,
+        dp: DeductionProcess,
+        state: SchedulingState,
+        decisions: Sequence[Decision],
+        budget: Optional[WorkBudget],
+    ) -> DeductionResult:
         consequences: List[Change] = []
         work = 0
         for decision in decisions:
@@ -388,6 +434,7 @@ class ProbeEngine:
         budget: WorkBudget,
     ) -> DeductionResult:
         """Copy mode: evaluate a sequence of decisions on a copy of *state*."""
+        self._note_probe()
         self.stats["copies"] += 1
         return self.apply_sequence(dp, state.copy(), decisions, budget)
 
@@ -402,6 +449,7 @@ class ProbeEngine:
 
         The caller decides whether to keep the mutations or roll back to
         the returned mark."""
+        self._note_probe()
         mark = state.checkpoint()
         self.stats["probes"] += 1
         self.stats["copies_avoided"] += 1
@@ -430,6 +478,7 @@ class ProbeEngine:
         the caller and never observed, so no log is needed."""
         cache = self._cache
         assert cache is not None and cache.state is state
+        self._note_probe()
         self._pending = None
         key = probe_cache_key(state, decisions)
         mark = state.checkpoint()
@@ -575,6 +624,9 @@ class StageContext:
     #: Per-op cycle hints (e.g. from a CARS pre-pass in the hybrid
     #: backend); biases cycle-candidate selection in the pinning stages.
     cycle_hints: Dict[int, int] = field(default_factory=dict)
+    #: Budget-policy runtime state (``None`` without a policy).  Stages
+    #: consult :attr:`PolicyTracker.cheap` to pick full vs cheap mode.
+    tracker: Optional["PolicyTracker"] = None
     #: Per-stage ``{"calls": n, "wall_time_s": t}``, accumulated across
     #: AWCT targets.
     timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -620,6 +672,11 @@ class CombinationsStage:
             u, v, slack = pick
             forced = state.must_overlap(u, v)
             if not forced and slack > config.stage1_slack_limit:
+                return state
+            if not forced and ctx.tracker is not None and ctx.tracker.cheap:
+                # Cheap mode (policy tier critical): optional pairs are no
+                # longer studied — remaining budget goes to finishing the
+                # mandatory decisions, not exploring.
                 return state
             decisions_made += 1
 
@@ -732,6 +789,11 @@ class _FixCyclesBody:
                 if communications
                 else config.cycle_candidates
             )
+            if ctx.tracker is not None and ctx.tracker.cheap:
+                # Cheap mode (policy tier critical): one candidate cycle
+                # per operation — the greedy earliest-feasible choice —
+                # instead of a studied window.
+                n_candidates = 1
             hint = None if communications else ctx.cycle_hints.get(op_id)
             cycles = cand.cycle_candidates(state, op_id, n_candidates, hint=hint)
             earliest_contradicts = False

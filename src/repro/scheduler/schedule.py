@@ -40,6 +40,12 @@ class Schedule:
     cycles: Dict[int, int]
     clusters: Dict[int, int]
     comms: List[ScheduledComm] = field(default_factory=list)
+    #: How the schedule was produced when it was not the plain pipeline
+    #: output — e.g. ``{"policy": "finalize_partial", "source":
+    #: "partial-extraction"}`` from the budget-policy layer.  ``None`` (the
+    #: default) keeps :meth:`fingerprint` byte-identical to schedules that
+    #: predate the field.
+    provenance: Optional[Dict[str, str]] = None
 
     # ------------------------------------------------------------------ #
     # metrics
@@ -87,9 +93,11 @@ class Schedule:
         Two schedules compare equal iff their fingerprints do: the block
         name plus sorted cycle, cluster and communication assignments.
         Used by the parallel runner's determinism checks and the CI
-        perf-regression gate.
+        perf-regression gate.  Provenance (set only by the budget-policy
+        layer) is appended when present, so policy-shaped schedules are
+        distinguishable while plain ones keep the historical fingerprint.
         """
-        return [
+        fp = [
             self.block.name,
             sorted(self.cycles.items()),
             sorted(self.clusters.items()),
@@ -98,6 +106,9 @@ class Schedule:
                 for c in self.comms
             ),
         ]
+        if self.provenance is not None:
+            fp.append(sorted(self.provenance.items()))
+        return fp
 
     # ------------------------------------------------------------------ #
     # presentation
@@ -157,6 +168,12 @@ class ScheduleResult:
     #: reported by the bench harness but never gated, and the field is
     #: deliberately excluded from :meth:`fingerprint`.
     stage_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Budget-policy summary (``PolicyTracker.summary()``): exhaustion
+    #: mode, final tier, tier transitions, probe counts, refine history.
+    #: ``None`` without a policy; only the deterministic mode/partial/
+    #: source fields enter :meth:`fingerprint` (transitions carry wall
+    #: readings).
+    policy: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -178,7 +195,7 @@ class ScheduleResult:
         counter and the fallback flag.  ``ScheduleResult`` is the value
         the parallel runner ships between processes; the fingerprint is
         what its determinism guarantee is stated over."""
-        return [
+        fp = [
             self.scheduler,
             self.block.name,
             self.machine.name,
@@ -186,3 +203,13 @@ class ScheduleResult:
             self.fallback_used,
             self.schedule.fingerprint() if self.schedule is not None else None,
         ]
+        if self.policy is not None:
+            fp.append(
+                [
+                    "policy",
+                    self.policy.get("mode"),
+                    bool(self.policy.get("partial_finalize")),
+                    self.policy.get("source"),
+                ]
+            )
+        return fp

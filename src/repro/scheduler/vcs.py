@@ -43,9 +43,10 @@ The probing primitives live in
 from __future__ import annotations
 
 import dataclasses
+import random
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.bounds.awct import min_exit_cycles
 from repro.bounds.enumeration import ExitBoundEnumerator, ExitBoundStep
@@ -56,13 +57,15 @@ from repro.deduction.rules import default_rules
 from repro.deduction.state import SchedulingState
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
+from repro.scheduler.correctness import validate_schedule
 from repro.scheduler.pipeline import (
     ProbeEngine,
     StageContext,
     StagePipeline,
     new_probe_stats,
 )
-from repro.scheduler.schedule import ScheduleResult
+from repro.scheduler.policy import PolicyTracker, SchedulePolicy, cheap_extraction
+from repro.scheduler.schedule import Schedule, ScheduleResult
 from repro.sgraph.scheduling_graph import SchedulingGraph
 
 #: ``VcsConfig`` fields coerced from strings by :meth:`VcsConfig.from_dict`
@@ -150,6 +153,14 @@ class VcsConfig:
     #: ``(score, cycle)`` winner.  Same winner, fewer probes — changes
     #: ``dp_work``, hence opt-in.
     probe_early_cut: bool = False
+    #: Budget policy (:class:`~repro.scheduler.policy.SchedulePolicy`):
+    #: limits on dp_work/wall/probes with status tiers, graceful
+    #: degradation on exhaustion (``finalize_partial``) and leftover-budget
+    #: refinement.  ``None`` (the default) is fail-equivalent and leaves
+    #: every code path byte-identical to the policy-free scheduler.
+    #: Environment form (``REPRO_VCS_POLICY``):
+    #: ``"mode=finalize_partial,max_dp_work=20000"``.
+    policy: Optional[SchedulePolicy] = None
 
     # ------------------------------------------------------------------ #
     # serialisation (CLI / JSON / environment configuration surface)
@@ -161,6 +172,7 @@ class VcsConfig:
             out["stage_order"] = list(out["stage_order"])
         if out["cycle_hints"] is not None:
             out["cycle_hints"] = [list(pair) for pair in out["cycle_hints"]]
+        # asdict already recursed into the nested SchedulePolicy dataclass.
         return out
 
     @classmethod
@@ -182,6 +194,15 @@ class VcsConfig:
     def _coerce(key: str, value):
         if value is None:
             return None
+        if key == "policy":
+            if isinstance(value, SchedulePolicy):
+                return value
+            if isinstance(value, str):
+                # Environment/CLI form: "mode=...,max_dp_work=...".
+                return SchedulePolicy.parse(value)
+            if isinstance(value, Mapping):
+                return SchedulePolicy.from_dict(value)
+            raise ValueError(f"invalid policy {value!r} for VcsConfig.policy")
         if key == "stage_order":
             # Environment/CLI sources deliver a comma-separated string.
             if isinstance(value, str):
@@ -275,13 +296,28 @@ class VirtualClusterScheduler:
         start = time.perf_counter()
         self.stats = new_probe_stats()
         engine = ProbeEngine(self.config, self.stats)
-        if self.config.time_limit is not None:
-            engine.deadline = start + self.config.time_limit
         dp = DeductionProcess(
             rules=default_rules(enable_plc=self.config.enable_plc),
             queue_mode=self.config.queue_mode,
         )
         budget = WorkBudget(self.config.work_budget)
+        policy = self.config.policy
+        tracker: Optional[PolicyTracker] = None
+        if policy is not None:
+            tracker = PolicyTracker(policy, budget, started=start)
+            tracker.attach(budget)
+            engine.tracker = tracker
+            # Exhaustion recovery (rollback to the sequence entry) only
+            # matters when a partially-decided state will be finalized, and
+            # only trail mode has one shared state to keep consistent.
+            engine.recover_on_exhaustion = policy.finalizes_partial and self.config.use_trail
+        wall_limits = [
+            limit
+            for limit in (self.config.time_limit, policy.max_wall_s if policy else None)
+            if limit is not None
+        ]
+        if wall_limits:
+            engine.deadline = start + min(wall_limits)
         sgraph = SchedulingGraph(block, machine)
         ctx = StageContext(
             dp=dp,
@@ -289,6 +325,7 @@ class VirtualClusterScheduler:
             config=self.config,
             engine=engine,
             cycle_hints=self.config.hints_mapping(),
+            tracker=tracker,
         )
         self.stage_timings = ctx.timings
 
@@ -319,7 +356,7 @@ class VirtualClusterScheduler:
                 state = self._try_target(block, machine, sgraph, ctx, target, shared)
                 if state is None or ctx.schedule is None:
                     continue
-                return ScheduleResult(
+                result = ScheduleResult(
                     scheduler=self.name,
                     block=block,
                     machine=machine,
@@ -330,11 +367,23 @@ class VirtualClusterScheduler:
                     stats=self._result_stats(dp),
                     stage_timings={k: dict(v) for k, v in ctx.timings.items()},
                 )
-        except BudgetExhausted:
+                if tracker is not None:
+                    self._refine(block, result, budget, tracker)
+                    result.policy = tracker.summary(partial=False, source="vcs")
+                    result.wall_time = time.perf_counter() - start
+                return result
+        except BudgetExhausted as exc:
             timed_out = True
+            if tracker is not None:
+                tracker.mark_exhausted(str(exc))
+
+        if tracker is not None and timed_out and tracker.policy.finalizes_partial:
+            return self._finalize_partial(
+                block, machine, shared, budget, tracker, steps_tried, dp, ctx, start
+            )
 
         if not self.config.fallback_to_cars:
-            return ScheduleResult(
+            result = ScheduleResult(
                 scheduler=self.name,
                 block=block,
                 machine=machine,
@@ -346,8 +395,11 @@ class VirtualClusterScheduler:
                 stats=self._result_stats(dp),
                 stage_timings={k: dict(v) for k, v in ctx.timings.items()},
             )
+            if tracker is not None:
+                result.policy = tracker.summary(partial=False, source="none")
+            return result
         fallback = self._fallback_backend().schedule(block, machine)
-        return ScheduleResult(
+        result = ScheduleResult(
             scheduler=self.name,
             block=block,
             machine=machine,
@@ -360,6 +412,9 @@ class VirtualClusterScheduler:
             stats=self._result_stats(dp),
             stage_timings={k: dict(v) for k, v in ctx.timings.items()},
         )
+        if tracker is not None:
+            result.policy = tracker.summary(partial=False, source="fallback")
+        return result
 
     def _result_stats(self, dp: DeductionProcess) -> Dict[str, int]:
         """The probe counters plus the deduction engine's per-rule-class
@@ -369,6 +424,162 @@ class VirtualClusterScheduler:
             stats[f"dp_rule_{name}"] = dp.work_by_rule[name]
         stats.update(dp.queue_stats)
         return stats
+
+    # ------------------------------------------------------------------ #
+    # budget-policy phases: partial finalization and refinement
+    # ------------------------------------------------------------------ #
+    def _finalize_partial(
+        self,
+        block: Superblock,
+        machine: ClusteredMachine,
+        shared: Optional[SchedulingState],
+        budget: WorkBudget,
+        tracker: PolicyTracker,
+        steps_tried: int,
+        dp: DeductionProcess,
+        ctx: StageContext,
+        start: float,
+    ) -> ScheduleResult:
+        """Exhaustion under a ``finalize_partial`` policy.
+
+        The shared trail state holds the best-so-far valid decision set
+        (exhaustion recovery rolled back the aborted deduction, so it is
+        consistent); freeze it and finalize cheaply — a list-scheduling
+        extraction over the partially-fixed scheduling graph
+        (:func:`~repro.scheduler.policy.cheap_extraction`) — then emit the
+        better of that extraction and the plain fallback schedule, so the
+        output is never worse than the paper's timeout mechanism.  Copy
+        mode has no shared partial state; the extraction degrades to plain
+        CARS there."""
+        extraction = cheap_extraction(block, machine, shared)
+        chosen: Optional[Schedule] = None
+        source = "none"
+        extra_work = 0
+        if extraction is not None and extraction.schedule is not None:
+            chosen, source = extraction.schedule, "partial-extraction"
+            extra_work += extraction.work
+        if self.config.fallback_to_cars:
+            fallback = self._fallback_backend().schedule(block, machine)
+            extra_work += fallback.work
+            if fallback.schedule is not None and (
+                chosen is None or fallback.schedule.awct < chosen.awct
+            ):
+                # Strict improvement only: ties keep the extraction, whose
+                # cluster decisions came from the paid-for deduction.
+                chosen, source = fallback.schedule, "fallback"
+        if chosen is not None:
+            chosen.provenance = {"policy": "finalize_partial", "source": source}
+        result = ScheduleResult(
+            scheduler=self.name,
+            block=block,
+            machine=machine,
+            schedule=chosen,
+            work=budget.spent + extra_work,
+            wall_time=time.perf_counter() - start,
+            timed_out=True,
+            awct_target_steps=steps_tried,
+            fallback_used=(source == "fallback"),
+            stats=self._result_stats(dp),
+            stage_timings={k: dict(v) for k, v in ctx.timings.items()},
+        )
+        result.policy = tracker.summary(partial=True, source=source)
+        return result
+
+    def _refine(
+        self,
+        block: Superblock,
+        result: ScheduleResult,
+        budget: WorkBudget,
+        tracker: PolicyTracker,
+    ) -> None:
+        """Spend leftover budget improving a successful schedule.
+
+        Randomized-restart / large-neighborhood re-probing: each round
+        frees the worst-slack region of the current best schedule — the
+        operations completing latest, which bound the AWCT — keeps every
+        other operation hinted at its current cycle, and re-runs the full
+        pipeline under the remaining dp_work budget.  Strict AWCT
+        improvements (validated) replace the best schedule; anything else
+        is discarded, so AWCT is monotone non-increasing across rounds and
+        every intermediate output is a complete valid schedule — the
+        anytime property.  The round RNG is seeded from the policy seed
+        and the block name (:meth:`SchedulePolicy.refine_rng_seed`), never
+        from process state, so refinement is deterministic.  Requires a
+        dp_work limit (the "remaining budget" that bounds each round)."""
+        policy = tracker.policy
+        if policy.refine_rounds <= 0 or result.schedule is None or budget.limit is None:
+            return
+        best = result.schedule
+        rng = random.Random(policy.refine_rng_seed(block.name))
+        for round_no in range(policy.refine_rounds):
+            remaining = budget.limit - budget.spent
+            if remaining <= 0:
+                break
+            hints, freed = self._neighborhood_hints(best, rng, policy.refine_neighborhood)
+            config = dataclasses.replace(
+                self.config,
+                policy=None,
+                cycle_hints=hints,
+                work_budget=remaining,
+                time_limit=None,
+                fallback_to_cars=False,
+            )
+            attempt = VirtualClusterScheduler(config).schedule(block, best.machine)
+            entry: Dict[str, object] = {
+                "round": round_no,
+                "freed_ops": sorted(freed),
+                "work": attempt.work,
+                "awct": attempt.schedule.awct if attempt.schedule is not None else None,
+            }
+            try:
+                budget.charge_block(attempt.work)
+            except BudgetExhausted as exc:
+                tracker.mark_exhausted(str(exc))
+                entry["accepted"] = False
+                tracker.refine_history.append(entry)
+                break
+            accepted = (
+                attempt.schedule is not None
+                and attempt.schedule.awct < best.awct
+                and validate_schedule(attempt.schedule).ok
+            )
+            if accepted:
+                best = attempt.schedule
+                assert best is not None
+                best.provenance = {"policy": "refine", "round": str(round_no)}
+            entry["accepted"] = accepted
+            entry["best_awct"] = best.awct
+            tracker.refine_history.append(entry)
+            tracker.refresh()
+        result.schedule = best
+        result.work = budget.spent
+
+    @staticmethod
+    def _neighborhood_hints(
+        schedule: Schedule, rng: random.Random, neighborhood: int
+    ) -> Tuple[Tuple[Tuple[int, int], ...], List[int]]:
+        """One refinement round's cycle hints.
+
+        Samples the freed region from the operations completing latest
+        (twice the neighborhood size as the pool) and hints every other
+        operation at its current cycle; returns ``(hints, freed_ops)``."""
+        block = schedule.block
+        completion = {
+            op_id: cycle + block.op(op_id).latency
+            for op_id, cycle in schedule.cycles.items()
+        }
+        ordered = sorted(completion, key=lambda op_id: (-completion[op_id], op_id))
+        pool = ordered[: max(2 * neighborhood, 1)]
+        k = min(len(pool), max(1, neighborhood))
+        freed = set(rng.sample(pool, k))
+        hints = tuple(
+            sorted(
+                (op_id, cycle)
+                for op_id, cycle in schedule.cycles.items()
+                if op_id not in freed
+            )
+        )
+        return hints, sorted(freed)
 
     # ------------------------------------------------------------------ #
     # minAWCT tightening (Section 4.2)
