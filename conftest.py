@@ -15,3 +15,20 @@ except ImportError:  # Fallback: make the src layout importable in place.
     _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
     if _SRC not in sys.path:
         sys.path.insert(0, _SRC)
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the on-disk result cache at a per-session temp directory.
+
+    Keeps the test suite hermetic: runs never read results cached by
+    earlier suite invocations in ``~/.cache/repro`` and never pollute it.
+    Tests that need a specific cache location pass an explicit
+    ``CacheSpec``/``--cache-dir`` instead.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        cache_dir = tmp_path_factory.mktemp("repro-cache")
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield

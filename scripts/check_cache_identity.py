@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI cache-identity gate: cold-vs-warm byte identity of the gated matrix.
+
+Runs the 12-cell scenario matrix that ``BENCH_vcs.json`` gates
+(``ring``/``p2p`` machine families x ``membound``/``exitdense`` workload
+families, ``vcs`` backend) **twice against a fresh cache directory in
+one process**: a cold pass that computes and stores every cell, then a
+warm pass that must serve *every* cell from the on-disk result cache —
+100% hits, zero recomputes — and reproduce identical per-cell digests
+and ``dp_work``.  Exits non-zero on any miss, stray store or digest
+drift, and writes the hit/miss/store counters of both passes as a JSON
+report (the CI artifact).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_cache_identity.py \
+        [--output cache_identity.json] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.experiments import run_scenario_matrix  # noqa: E402
+from repro.runner import BatchScheduler, CacheSpec, CacheStats  # noqa: E402
+
+MACHINE_FAMILIES = ("ring", "p2p")
+WORKLOAD_FAMILIES = ("membound", "exitdense")
+BACKENDS = ("vcs",)
+BLOCKS = 1
+
+
+def run_pass(cache_spec: CacheSpec, jobs: int):
+    stats = CacheStats()
+    cells, _ = run_scenario_matrix(
+        MACHINE_FAMILIES,
+        WORKLOAD_FAMILIES,
+        backends=BACKENDS,
+        blocks_per_benchmark=BLOCKS,
+        runner=BatchScheduler(jobs=jobs),
+        cache=cache_spec,
+        cache_stats=stats,
+    )
+    return cells, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default="cache_identity.json",
+        help="write the cold/warm cache-stats report here",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for both passes (default: 1)",
+    )
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-cache-identity-") as root:
+        spec = CacheSpec(root=root)
+        cold_cells, cold = run_pass(spec, args.jobs)
+        warm_cells, warm = run_pass(spec, args.jobs)
+
+    n_cells = len(cold_cells)
+    if cold.hits != 0:
+        errors.append(
+            f"cold pass hit a supposedly fresh cache ({cold.hits} hits) — "
+            "the temp directory was not fresh or keying is unstable"
+        )
+    if warm.misses != 0 or warm.stores != 0:
+        errors.append(
+            f"warm pass recomputed {warm.misses} job(s) "
+            f"(stores={warm.stores}) — expected a 100% cache-served replay"
+        )
+    if warm.hits != cold.stores or warm.hit_rate != 1.0:
+        errors.append(
+            f"warm pass hits ({warm.hits}) != cold stores ({cold.stores}) "
+            f"or hit rate {warm.hit_rate} != 1.0"
+        )
+    cold_rows = [c.as_row() for c in cold_cells]
+    warm_rows = [c.as_row() for c in warm_cells]
+    if cold_rows != warm_rows:
+        drifted = [
+            f"{c.machine}/{c.workload_family}/{c.backend}"
+            for c, w in zip(cold_cells, warm_cells)
+            if c.as_row() != w.as_row()
+        ]
+        errors.append(
+            f"warm matrix drifted from cold on {len(drifted)}/{n_cells} "
+            f"cell(s): {drifted} — cache hits are not byte-identical"
+        )
+
+    report = {
+        "matrix": {
+            "machine_families": list(MACHINE_FAMILIES),
+            "workload_families": list(WORKLOAD_FAMILIES),
+            "backends": list(BACKENDS),
+            "blocks_per_benchmark": BLOCKS,
+            "cells": n_cells,
+        },
+        "jobs": args.jobs,
+        "cold_cache": cold.to_dict(),
+        "warm_cache": warm.to_dict(),
+        "digests_identical_warm_vs_cold": cold_rows == warm_rows,
+        "ok": not errors,
+        "errors": errors,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for error in errors:
+        print(f"[cache-identity] REGRESSION: {error}")
+    if errors:
+        return 1
+    print(
+        f"[cache-identity] ok: warm re-run of {n_cells} cells served "
+        f"{warm.hits}/{warm.lookups} lookups from cache (hit rate 1.0), "
+        "digests identical to the cold pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

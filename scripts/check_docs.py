@@ -151,6 +151,22 @@ ENV_KNOBS = {
         "changes the benchmark work budget, not determinism",
         'the "4-minute-equivalent" dp_work budget of the pytest benchmark harness',
     ),
+    "REPRO_CACHE": (
+        "on",
+        "byte-identical — hits replay stored results keyed by content",
+        "`off` disables the on-disk result cache (same as run_suite.py --no-cache)",
+    ),
+    "REPRO_CACHE_DIR": (
+        "~/.cache/repro",
+        "byte-identical — relocates the store, never the results",
+        "result-cache directory (run_suite.py --cache-dir overrides per run)",
+    ),
+    "REPRO_POOL": (
+        "persistent",
+        "byte-identical — reuse only changes wall time",
+        "`fresh`/`off` restores an executor per batch instead of the shared "
+        "persistent worker pool",
+    ),
 }
 
 

@@ -19,7 +19,11 @@ Gated (the job fails on any mismatch):
   point-to-point topologies and the parametric workload families are
   byte-tracked like the default configurations;
 * the fresh report's serial-vs-parallel identity flag — the parallel
-  runner must not change any schedule.
+  runner must not change any schedule;
+* the ``runner`` section: warm-pool parallel schedules byte-identical to
+  serial with throughput >= 1.0x (skipped with an explicit reason on
+  single-CPU hosts), and a warm scenario-matrix re-run served entirely
+  from the result cache (zero recomputed cells, identical digests).
 
 Also gated: the fresh report must carry the deduction-counter section
 with every expected block (per-rule-class ``dp_work`` split, probing
@@ -281,6 +285,81 @@ def check_scenarios(old_section, new_section, errors: list) -> None:
         )
 
 
+def check_runner(new_section, errors: list) -> None:
+    """Gate the runner-layer section of the fresh report.
+
+    Presence is gated (all three blocks), as are the deterministic
+    invariants: warm-pool parallel schedules byte-identical to serial,
+    warm parallel throughput >= 1.0x serial (skipped with an explicit
+    reason on single-CPU hosts — never silently), and a warm matrix
+    re-run that recomputes zero cells with byte-identical digests.
+    Wall times themselves are reported, not gated."""
+    if not new_section:
+        errors.append(
+            "fresh report is missing the 'runner' section "
+            "(bench_report.py no longer measuring the pool/cache layer?)"
+        )
+        return
+    missing = [block for block in ("pool", "parallel", "matrix") if block not in new_section]
+    if missing:
+        errors.append(f"fresh runner section is missing the {missing} block(s)")
+        return
+
+    pool = new_section["pool"]
+    reuse = pool.get("reuse_speedup_vs_fresh")
+    print(
+        f"[gate] runner pool: reused {pool.get('reused_pool_wall_s', 0):.2f}s vs fresh "
+        f"{pool.get('fresh_pool_wall_s', 0):.2f}s over {pool.get('batches')} batches "
+        + (f"({reuse:.2f}x, not gated)" if reuse is not None else "(not gated)")
+    )
+
+    parallel = new_section["parallel"]
+    if parallel.get("schedules_identical_serial_vs_parallel") is not True:
+        errors.append(
+            "runner warm-pool parallel schedules differ from serial "
+            f"(runner.parallel section: {parallel})"
+        )
+    throughput = parallel.get("throughput_speedup_vs_serial")
+    if parallel.get("skipped"):
+        print(f"[gate] runner warm throughput gate skipped: {parallel['skipped']}")
+    elif throughput is None:
+        errors.append(
+            "runner.parallel carries neither a throughput ratio nor a skip "
+            f"reason (section: {parallel})"
+        )
+    elif throughput < 1.0:
+        errors.append(
+            f"warm-pool parallel throughput {throughput:.2f}x is below serial "
+            f"({parallel.get('jobs')} workers on {parallel.get('cpu_count')} cpus) "
+            "— the persistent pool should make parallel at least break even"
+        )
+    else:
+        print(
+            f"[gate] runner warm throughput: {throughput:.2f}x serial "
+            f"({parallel.get('jobs')} workers on {parallel.get('cpu_count')} cpus), gated >= 1.0"
+        )
+
+    matrix = new_section["matrix"]
+    recomputed = matrix.get("warm_recomputed")
+    if recomputed != 0:
+        errors.append(
+            f"warm matrix re-run recomputed {recomputed!r} cell job(s); the "
+            "result cache must serve a warm re-run entirely from disk "
+            f"(warm cache stats: {matrix.get('warm_cache')})"
+        )
+    if matrix.get("digests_identical_warm_vs_cold") is not True:
+        errors.append(
+            "warm matrix re-run digests differ from the cold run "
+            f"(runner.matrix section: {matrix})"
+        )
+    if recomputed == 0 and matrix.get("digests_identical_warm_vs_cold") is True:
+        print(
+            f"[gate] runner cache: warm matrix re-run of {matrix.get('cells')} cells "
+            f"served 100% from cache ({matrix.get('cold_wall_s', 0):.2f}s cold -> "
+            f"{matrix.get('warm_wall_s', 0):.2f}s warm), digests identical"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("committed", help="the BENCH_vcs.json checked into the repository")
@@ -369,20 +448,27 @@ def main() -> int:
     check_deduction_blocks(fresh.get("deduction"), errors)
     report_deduction_drift(committed.get("deduction"), fresh.get("deduction"))
 
-    runner = fresh.get("parallel", {})
-    if runner.get("schedules_identical_serial_vs_parallel") is not True:
+    parallel = fresh.get("parallel", {})
+    if parallel.get("schedules_identical_serial_vs_parallel") is not True:
         errors.append(
             "parallel runner produced schedules that differ from the serial run "
-            f"(parallel section: {runner})"
+            f"(parallel section: {parallel})"
         )
     else:
-        print(
-            f"[gate] parallel runner: {runner.get('jobs')} workers on "
-            f"{runner.get('cpu_count')} cpus, serial {runner.get('serial_wall_time_s', 0):.2f}s "
-            f"-> parallel {runner.get('wall_time_s', 0):.2f}s "
-            f"({(runner.get('throughput_speedup_vs_serial') or 0):.2f}x throughput, not gated), "
-            "schedules identical"
+        cold_throughput = parallel.get("throughput_speedup_vs_serial")
+        throughput_note = (
+            f"{cold_throughput:.2f}x throughput, not gated"
+            if cold_throughput is not None
+            else f"throughput skipped: {parallel.get('skipped', 'no reason recorded')}"
         )
+        print(
+            f"[gate] parallel runner: {parallel.get('jobs')} workers on "
+            f"{parallel.get('cpu_count')} cpus, "
+            f"serial {parallel.get('serial_wall_time_s', 0):.2f}s "
+            f"-> parallel {parallel.get('wall_time_s', 0):.2f}s "
+            f"({throughput_note}), schedules identical"
+        )
+    check_runner(fresh.get("runner"), errors)
 
     if fresh.get("schedules_identical_trail_vs_copy") is not True:
         errors.append("trail and copy probing modes disagree in the fresh run")

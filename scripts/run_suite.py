@@ -50,7 +50,13 @@ from repro.machine import (
     machine_family,
     paper_configurations,
 )
-from repro.runner import BatchScheduler, fingerprint_digest
+from repro.runner import (
+    BatchScheduler,
+    CacheSpec,
+    CacheStats,
+    fingerprint_digest,
+    shared_pool_stats,
+)
 from repro.scheduler import (
     BackendSpec,
     UnknownStageError,
@@ -185,6 +191,18 @@ def parse_args(argv=None) -> argparse.Namespace:
         default=None,
         help="per-job time allowance in seconds (default: none)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run "
+        "(equivalent to REPRO_CACHE=off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     parser.add_argument("--output", metavar="PATH", help="write the JSON report here")
     parser.add_argument("--quiet", action="store_true", help="suppress the stdout tables")
     return parser.parse_args(argv)
@@ -292,6 +310,29 @@ def build_vcs_config(args: argparse.Namespace) -> VcsConfig:
     return config
 
 
+def build_cache(args: argparse.Namespace) -> CacheSpec:
+    """The result-cache configuration of this run: ``--no-cache`` /
+    ``--cache-dir`` win over ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``
+    (non-zero exit on contradictory or unusable selections)."""
+    if args.no_cache and args.cache_dir:
+        raise SystemExit(
+            "--no-cache and --cache-dir are mutually exclusive: --no-cache "
+            "disables the result cache entirely, --cache-dir relocates it "
+            "(drop one of the two)"
+        )
+    if args.no_cache:
+        return CacheSpec.disabled()
+    if args.cache_dir:
+        path = Path(args.cache_dir)
+        if path.exists() and not path.is_dir():
+            raise SystemExit(
+                f"--cache-dir {str(path)!r} exists and is not a directory; "
+                "pass a directory path (it is created on the first store)"
+            )
+        return CacheSpec.from_env(cache_dir=str(path))
+    return CacheSpec.from_env()
+
+
 def list_schedulers() -> int:
     print("registered scheduler backends:")
     for name in available_backends():
@@ -371,6 +412,8 @@ def main(argv=None) -> int:
         budget = 60_000
     machines = select_machines(args)
     runner = BatchScheduler(jobs=args.jobs, chunk_size=args.chunk_size, timeout=args.timeout)
+    cache_spec = build_cache(args)
+    cache_stats = CacheStats()
     experiments = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     # The matrix sweeps whole families; the figure experiments a flat
     # workload x machine selection.
@@ -425,6 +468,8 @@ def main(argv=None) -> int:
             vcs_config=vcs_config,
             runner=runner,
             schedulers=("cars", scheduler),
+            cache=cache_spec,
+            cache_stats=cache_stats,
         )
         results["speedup"] = {
             machine.name: [record.comparison() for record in grouped[machine.name]]
@@ -460,6 +505,8 @@ def main(argv=None) -> int:
             work_budget=budget,
             vcs_config=vcs_config,
             runner=runner,
+            cache=cache_spec,
+            cache_stats=cache_stats,
         )
         rows = [
             {
@@ -513,6 +560,8 @@ def main(argv=None) -> int:
             runner=runner,
             vcs_config=vcs_config,
             schedulers=("cars", scheduler),
+            cache=cache_spec,
+            cache_stats=cache_stats,
         )
         if not args.quiet:
             print("\n=== compile-effort distribution ===")
@@ -530,6 +579,8 @@ def main(argv=None) -> int:
             runner=runner,
             vcs_config=vcs_config,
             schedulers=("cars", scheduler),
+            cache=cache_spec,
+            cache_stats=cache_stats,
         )
         if not args.quiet:
             for machine in machines:
@@ -549,6 +600,8 @@ def main(argv=None) -> int:
             work_budget=budget,
             vcs_config=vcs_config,
             runner=runner,
+            cache=cache_spec,
+            cache_stats=cache_stats,
         )
         results["matrix"] = {
             "machine_families": list(matrix_machine_families),
@@ -582,14 +635,25 @@ def main(argv=None) -> int:
             "wall_time_s": wall,
             "experiments": list(experiments),
             "python": sys.version.split()[0],
+            "cache": {
+                "enabled": cache_spec.enabled,
+                "dir": cache_spec.root if cache_spec.enabled else None,
+                **cache_stats.to_dict(),
+            },
+            "pool": shared_pool_stats(),
         },
         "results": results,
     }
     if not args.quiet:
         per_sec = total_jobs / wall if wall > 0 else 0.0
+        cache_note = (
+            f", cache {cache_stats.hits}/{cache_stats.lookups} hits"
+            if cache_spec.enabled
+            else ", cache off"
+        )
         print(
             f"\n[suite] wall time {wall:.2f}s "
-            f"({per_sec:.1f} schedules/s, {runner.n_workers} worker(s))"
+            f"({per_sec:.1f} schedules/s, {runner.n_workers} worker(s){cache_note})"
         )
     if args.output:
         Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

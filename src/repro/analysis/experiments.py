@@ -36,9 +36,10 @@ from repro.machine.machine import ClusteredMachine
 from repro.runner import (
     SCHEDULER_KINDS,
     BatchScheduler,
+    CacheStats,
     enumerate_workload_jobs,
     fingerprint_digest,
-    run_schedule_job,
+    map_schedule_jobs,
 )
 from repro.scheduler.schedule import ScheduleResult
 from repro.scheduler.vcs import VcsConfig
@@ -105,6 +106,8 @@ def run_experiment_records(
     scheduling_blocks: Optional[Dict[str, Sequence]] = None,
     runner: Optional[BatchScheduler] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> List[ExperimentRecord]:
     """Schedule every block of every ``(workload, machine)`` pair as one
     flat batch and regroup the results into per-pair records.
@@ -115,7 +118,10 @@ def run_experiment_records(
     ``scheduling_blocks`` optionally maps a workload name to different
     blocks (same DGs, different profiles) to *schedule*, while the
     workload's own blocks are what the caller will later *evaluate*
-    against — the Figure 12 setup.
+    against — the Figure 12 setup.  ``cache`` selects the result cache
+    (``None`` follows ``REPRO_CACHE``/``REPRO_CACHE_DIR``); pass a
+    :class:`~repro.runner.CacheStats` as ``cache_stats`` to accumulate
+    hit/miss counters across several driver calls.
     """
     schedulers = tuple(schedulers)
     if len(schedulers) != 2:
@@ -140,7 +146,9 @@ def run_experiment_records(
         specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
         jobs.extend(pair_jobs)
 
-    batch = (runner or BatchScheduler()).map(run_schedule_job, jobs)
+    batch = map_schedule_jobs(jobs, runner=runner, cache=cache)
+    if cache_stats is not None and batch.cache is not None:
+        cache_stats.merge(batch.cache)
 
     records: List[ExperimentRecord] = []
     for spec in specs:
@@ -162,6 +170,8 @@ def run_workload(
     scheduling_blocks: Optional[Sequence] = None,
     runner: Optional[BatchScheduler] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> ExperimentRecord:
     """Schedule every block of *workload* with the baseline and the
     proposed backend (CARS and VCS by default).
@@ -181,6 +191,8 @@ def run_workload(
         scheduling_blocks=overrides,
         runner=runner,
         schedulers=schedulers,
+        cache=cache,
+        cache_stats=cache_stats,
     )[0]
 
 
@@ -191,6 +203,8 @@ def run_speedup_records(
     vcs_config: Optional[VcsConfig] = None,
     runner: Optional[BatchScheduler] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> Dict[str, List[ExperimentRecord]]:
     """The raw records behind Figure 11, grouped by machine name."""
     pairs = [(workload, machine) for machine in machines for workload in workloads]
@@ -200,6 +214,8 @@ def run_speedup_records(
         vcs_config=vcs_config,
         runner=runner,
         schedulers=schedulers,
+        cache=cache,
+        cache_stats=cache_stats,
     )
     grouped: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
     for record in records:
@@ -214,6 +230,8 @@ def run_speedup_experiment(
     vcs_config: Optional[VcsConfig] = None,
     runner: Optional[BatchScheduler] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> Dict[str, List[BenchmarkComparison]]:
     """Figure 11: per-benchmark speed-up of the proposed backend over the
     baseline backend (VCS over CARS by default) for every machine
@@ -225,6 +243,8 @@ def run_speedup_experiment(
         vcs_config=vcs_config,
         runner=runner,
         schedulers=schedulers,
+        cache=cache,
+        cache_stats=cache_stats,
     )
     return {
         machine_name: [record.comparison() for record in records]
@@ -260,6 +280,8 @@ def run_backend_records(
     vcs_config: Optional[VcsConfig] = None,
     check_schedules: bool = True,
     runner: Optional[BatchScheduler] = None,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> List[BackendRecord]:
     """Schedule every block of every workload on every machine with every
     backend in *backends*, as one flat batch.
@@ -287,7 +309,9 @@ def run_backend_records(
             specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
             jobs.extend(pair_jobs)
 
-    batch = (runner or BatchScheduler()).map(run_schedule_job, jobs)
+    batch = map_schedule_jobs(jobs, runner=runner, cache=cache)
+    if cache_stats is not None and batch.cache is not None:
+        cache_stats.merge(batch.cache)
 
     records: List[BackendRecord] = []
     for spec in specs:
@@ -365,6 +389,8 @@ def run_backend_comparison(
     work_budget: Optional[int] = None,
     vcs_config: Optional[VcsConfig] = None,
     runner: Optional[BatchScheduler] = None,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> Dict[str, Dict[str, List[BenchmarkComparison]]]:
     """Figure 11 generalised to a backend dimension: per-benchmark
     comparisons of every backend against *baseline*.
@@ -382,6 +408,8 @@ def run_backend_comparison(
         work_budget=work_budget,
         vcs_config=vcs_config,
         runner=runner,
+        cache=cache,
+        cache_stats=cache_stats,
     )
     return backend_comparisons(records, baseline=baseline)
 
@@ -430,6 +458,8 @@ def run_scenario_matrix(
     vcs_config: Optional[VcsConfig] = None,
     check_schedules: bool = True,
     runner: Optional[BatchScheduler] = None,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> Tuple[List[ScenarioCell], List[BackendRecord]]:
     """Schedule the full (machine family x workload family x backend)
     cross product as one flat sharded batch.
@@ -462,6 +492,8 @@ def run_scenario_matrix(
         vcs_config=vcs_config,
         check_schedules=check_schedules,
         runner=runner,
+        cache=cache,
+        cache_stats=cache_stats,
     )
 
     workload_to_family = {workload.name: name for name, workload in workloads}
@@ -500,6 +532,8 @@ def run_compile_time_experiment(
     runner: Optional[BatchScheduler] = None,
     vcs_config: Optional[VcsConfig] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> List[CompileEffortStats]:
     """Figure 10: compile-effort distribution of the baseline and the
     proposed backend on every machine (the proposed backend runs at the
@@ -512,6 +546,8 @@ def run_compile_time_experiment(
         vcs_config=vcs_config,
         runner=runner,
         schedulers=schedulers,
+        cache=cache,
+        cache_stats=cache_stats,
     )
     by_machine: Dict[str, List[ExperimentRecord]] = {machine.name: [] for machine in machines}
     for record in records:
@@ -537,6 +573,8 @@ def run_cross_input_experiment(
     runner: Optional[BatchScheduler] = None,
     vcs_config: Optional[VcsConfig] = None,
     schedulers: Sequence[str] = SCHEDULER_KINDS,
+    cache: object = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> Dict[str, List[BenchmarkComparison]]:
     """Figure 12: schedule with the ``train`` profile, evaluate with ``ref``.
 
@@ -557,6 +595,8 @@ def run_cross_input_experiment(
         scheduling_blocks=train_blocks,
         runner=runner,
         schedulers=schedulers,
+        cache=cache,
+        cache_stats=cache_stats,
     )
     grouped: Dict[str, List[BenchmarkComparison]] = {machine.name: [] for machine in machines}
     for record in records:

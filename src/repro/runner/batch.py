@@ -1,18 +1,29 @@
 """The batch scheduler: deterministic sharded execution of a job list.
 
-Jobs are assumed independent and deterministic.  The scheduler cuts the
-job list into contiguous chunks, runs the chunks on a process pool and
-writes every result back into the slot of its originating job, so the
-returned value list is in submission order no matter which worker
-finished first — a parallel run is byte-identical to a serial one.
+Jobs are assumed independent and deterministic.  The scheduler dispatches
+jobs to a process pool in small strides and writes every result back into
+the slot of its originating job, so the returned value list is in
+submission order no matter which worker finished first — a parallel run
+is byte-identical to a serial one.  Dispatch is *work-stealing* in
+effect: with the default stride of one job per pool task, idle workers
+pull the next pending job off the executor's queue, so a straggler job
+no longer serializes the whole tail of a contiguous chunk.
+
+By default batches run on the process-wide persistent pool
+(:mod:`repro.runner.pool`): the executor survives across
+``map`` calls, so a suite of many small batches pays worker spin-up and
+package import once instead of per batch.  ``persistent=False`` (or
+``REPRO_POOL=fresh``) restores the executor-per-batch behaviour.
 
 Failure handling is per job: an exception inside a job is captured in
 the worker (type, message, traceback) and reported as a
-:class:`JobFailure` without poisoning the rest of its chunk.  Two whole-
+:class:`JobFailure` without poisoning the rest of its stride.  Two whole-
 pool failure modes are also mapped back onto jobs: a worker process that
 dies (``BrokenProcessPool``) fails every job still in flight, and an
-expired chunk deadline (``timeout`` × jobs in the chunk) tears the pool
-down and fails the unfinished jobs as ``timeout`` / ``cancelled``.
+expired stride deadline (``timeout`` × jobs in the stride) tears the pool
+down and fails the unfinished jobs as ``timeout`` / ``cancelled``.  In
+both cases a shared pool is *replaced*, not merely shut down — the next
+batch transparently gets a fresh pool.
 """
 
 from __future__ import annotations
@@ -25,6 +36,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.runner.cache import CacheStats
+from repro.runner.pool import PersistentPool, pool_reuse_enabled, shared_pool
+
 #: Environment variable selecting the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
 
@@ -33,8 +47,10 @@ def resolve_jobs(jobs: Optional[object] = None) -> int:
     """Resolve a worker count from an explicit value or ``REPRO_JOBS``.
 
     ``None`` falls back to the environment variable, and an unset
-    environment means serial execution.  ``"auto"`` (or any value <= 0)
-    selects the machine's CPU count.
+    environment means serial execution.  ``"auto"`` selects the machine's
+    CPU count.  Anything else must be a positive integer — zero and
+    negative counts are rejected with :class:`ValueError` (use ``"auto"``
+    to ask for the CPU count explicitly).
     """
     if jobs is None:
         jobs = os.environ.get(JOBS_ENV_VAR, "1")
@@ -45,11 +61,12 @@ def resolve_jobs(jobs: Optional[object] = None) -> int:
         try:
             jobs = int(text)
         except ValueError:
-            raise ValueError(f"invalid job count {jobs!r}: expected an integer or 'auto'") from None
-    count = int(jobs)
-    if count <= 0:
-        return os.cpu_count() or 1
-    return count
+            raise ValueError(
+                f"invalid job count {jobs!r}: expected a positive integer or 'auto'"
+            ) from None
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs <= 0:
+        raise ValueError(f"invalid job count {jobs!r}: expected a positive integer or 'auto'")
+    return jobs
 
 
 @dataclass(frozen=True)
@@ -93,6 +110,9 @@ class BatchResult:
     n_workers: int = 1
     chunk_size: int = 1
     backend: str = "serial"
+    #: Result-cache hit/miss/store counters aggregated from the workers;
+    #: ``None`` when the batch ran without a cache-aware job function.
+    cache: Optional[CacheStats] = None
 
     @property
     def n_jobs(self) -> int:
@@ -130,16 +150,22 @@ class BatchScheduler:
         Worker count; ``None`` reads ``REPRO_JOBS`` (default 1 = serial),
         ``"auto"`` or values <= 0 use the CPU count.
     chunk_size:
-        Jobs dispatched per pool task; ``None`` picks
-        ``ceil(n_jobs / (4 * workers))`` so each worker sees ~4 chunks
-        (amortises pickling without starving the pool near the end).
+        Jobs dispatched per pool task (the work-stealing stride).
+        ``None`` picks 1 — each job is its own pool task, so idle
+        workers steal pending jobs and a straggler never serializes a
+        contiguous chunk behind it.  Raise it only when per-task
+        dispatch overhead dominates very cheap jobs.
     timeout:
-        Per-job time allowance in seconds, enforced at chunk granularity
-        (a chunk's deadline is ``timeout`` times its job count).  ``None``
+        Per-job time allowance in seconds, enforced at stride granularity
+        (a stride's deadline is ``timeout`` times its job count).  ``None``
         disables the deadline.  Only the process backend can preempt; the
         serial backend runs every job to completion.
     mp_context:
         Optional ``multiprocessing`` context (e.g. to force ``"spawn"``).
+    persistent:
+        Reuse the process-wide shared pool (:func:`repro.runner.pool.shared_pool`)
+        across batches instead of spinning up an executor per ``map``
+        call.  ``None`` reads ``REPRO_POOL`` (default: persistent).
     """
 
     def __init__(
@@ -148,6 +174,7 @@ class BatchScheduler:
         chunk_size: Optional[int] = None,
         timeout: Optional[float] = None,
         mp_context: Optional[object] = None,
+        persistent: Optional[bool] = None,
     ):
         self.n_workers = resolve_jobs(jobs)
         if chunk_size is not None and chunk_size <= 0:
@@ -155,6 +182,7 @@ class BatchScheduler:
         self.chunk_size = chunk_size
         self.timeout = timeout
         self.mp_context = mp_context
+        self.persistent = pool_reuse_enabled() if persistent is None else persistent
 
     # ------------------------------------------------------------------ #
     # public API
@@ -211,8 +239,26 @@ class BatchScheduler:
                 )
         return BatchResult(values=values, failures=failures, n_workers=1, backend="serial")
 
+    def _acquire_executor(self) -> Tuple[ProcessPoolExecutor, Optional[PersistentPool]]:
+        """The executor to run on, plus the shared pool owning it (if any)."""
+        if self.persistent:
+            pool = shared_pool(self.n_workers, self.mp_context)
+            try:
+                return pool.executor(), pool
+            except Exception:
+                # A broken registry entry (e.g. executor shut down behind
+                # our back): replace and retry once before giving up.
+                pool.replace()
+                return pool.executor(), pool
+        executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=self.mp_context)
+        return executor, None
+
     def _map_process_pool(self, fn, payloads, ids) -> BatchResult:
-        chunk_size = self.chunk_size or max(1, -(-len(payloads) // (4 * self.n_workers)))
+        # Work-stealing stride: one job per pool task by default, so idle
+        # workers pull pending jobs instead of waiting behind a straggler's
+        # contiguous chunk.  Determinism is untouched — results land in
+        # values[index] regardless of completion order.
+        chunk_size = self.chunk_size or 1
         indexed = list(enumerate(payloads))
         chunks = [indexed[i : i + chunk_size] for i in range(0, len(indexed), chunk_size)]
 
@@ -237,9 +283,18 @@ class BatchScheduler:
                         )
                     )
 
-        executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=self.mp_context)
+        executor, pool = self._acquire_executor()
         try:
-            futures = [(chunk, executor.submit(_run_chunk, fn, chunk)) for chunk in chunks]
+            try:
+                futures = [(chunk, executor.submit(_run_chunk, fn, chunk)) for chunk in chunks]
+            except (BrokenProcessPool, RuntimeError):
+                # The shared executor died between batches; replace it and
+                # resubmit the whole batch on a fresh pool.
+                if pool is None:
+                    raise
+                pool.replace()
+                executor = pool.executor()
+                futures = [(chunk, executor.submit(_run_chunk, fn, chunk)) for chunk in chunks]
             for chunk, future in futures:
                 if aborted:
                     # The pool is gone; keep whatever already finished and
@@ -267,7 +322,14 @@ class BatchScheduler:
                     failures.extend(self._fail_chunk(chunk, ids, "crash", exc))
                     aborted = True
         finally:
-            executor.shutdown(wait=not aborted, cancel_futures=True)
+            if pool is not None:
+                pool.batches_served += 1
+                if aborted:
+                    # Crashed or timed out: discard the executor so the
+                    # next batch transparently gets a fresh pool.
+                    pool.replace()
+            else:
+                executor.shutdown(wait=not aborted, cancel_futures=True)
 
         failures.sort(key=lambda f: f.index)
         return BatchResult(

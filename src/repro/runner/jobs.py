@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.superblock import Superblock
 from repro.machine.machine import ClusteredMachine
+from repro.runner.cache import CacheSpec, CacheStats, worker_cache
+from repro.runner.pool import MachineRef, resolve_machine
 from repro.scheduler.correctness import validate_schedule
+from repro.scheduler.fingerprint import schedule_cache_key
 from repro.scheduler.registry import BackendSpec, backend_info
 from repro.scheduler.schedule import ScheduleResult
 from repro.scheduler.vcs import VcsConfig
@@ -89,6 +92,135 @@ def run_schedule_job(job: ScheduleJob) -> ScheduleResult:
     result = job.spec.create().schedule(job.block, job.machine)
     if job.check_schedule and result.schedule is not None:
         validate_schedule(result.schedule).raise_if_invalid()
+    return result
+
+
+@dataclass(frozen=True)
+class JobPayload:
+    """The wire form of one :class:`ScheduleJob` on the runner.
+
+    On the parallel path the job's machine is stripped and replaced by a
+    :class:`~repro.runner.pool.MachineRef` (digest + declarative spec),
+    so repeated jobs on the same machine ship a small reference payload
+    that warm workers resolve against their per-process intern table
+    instead of unpickling a full ``ClusteredMachine`` per job.  The
+    payload also carries the :class:`~repro.runner.cache.CacheSpec` and
+    the job's precomputed content-addressed cache key, so workers never
+    consult the environment.
+    """
+
+    job: ScheduleJob
+    #: ``None`` on the serial path (the job keeps its machine object).
+    machine_ref: Optional[MachineRef] = None
+    cache: CacheSpec = CacheSpec.disabled()
+    #: Empty when caching is off for this payload.
+    cache_key: str = ""
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+
+def _run_payload_job(payload: JobPayload) -> Tuple[str, ScheduleResult]:
+    """Worker entry point of cache-aware batches.
+
+    Returns ``(outcome, result)`` where outcome is ``"hit"`` (served from
+    the result cache), ``"miss"`` (computed and stored) or ``"off"``
+    (computed, caching disabled) — the parent folds the tags into
+    ``BatchResult.cache``, since worker-process counters are invisible
+    across the process boundary.
+    """
+    job = payload.job
+    if payload.machine_ref is not None:
+        job = replace(job, machine=resolve_machine(payload.machine_ref))
+    cache = worker_cache(payload.cache)
+    if cache is not None and payload.cache_key:
+        hit = cache.get(payload.cache_key)
+        if hit is not None:
+            return ("hit", hit)
+    result = run_schedule_job(job)
+    if cache is not None and payload.cache_key:
+        cache.put(payload.cache_key, result)
+        return ("miss", result)
+    return ("off", result)
+
+
+def _resolve_cache_spec(cache: object) -> CacheSpec:
+    if cache is None:
+        return CacheSpec.from_env()
+    if isinstance(cache, CacheSpec):
+        return cache
+    spec = getattr(cache, "spec", None)
+    if callable(spec):
+        # A ResultCache instance.
+        return spec()
+    raise TypeError(f"cache must be None, a CacheSpec or a ResultCache, got {type(cache).__name__}")
+
+
+def map_schedule_jobs(
+    jobs: Sequence[ScheduleJob],
+    runner: Optional["BatchScheduler"] = None,
+    cache: object = None,
+    on_error: str = "raise",
+) -> "BatchResult":
+    """Run a job list through the (cached, machine-interned) batch runner.
+
+    This is the default driver of every suite/matrix entry point: jobs
+    are keyed by content (:func:`repro.scheduler.fingerprint.schedule_cache_key`)
+    and served from the on-disk result cache when possible; cache misses
+    compute and store.  ``cache=None`` follows the environment
+    (``REPRO_CACHE``/``REPRO_CACHE_DIR``); pass
+    :meth:`CacheSpec.disabled() <repro.runner.cache.CacheSpec.disabled>`
+    to force cold computes.  On the parallel path machines travel as
+    interned references (see :class:`JobPayload`); the serial path keeps
+    the original machine objects.  Values come back in submission order
+    with ``BatchResult.cache`` aggregating worker-side hit/miss/store
+    outcomes.
+    """
+    from repro.runner.batch import BatchError, BatchScheduler
+
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
+    runner = runner if runner is not None else BatchScheduler()
+    spec = _resolve_cache_spec(cache)
+    jobs = list(jobs)
+    intern_machines = runner.n_workers > 1 and len(jobs) > 1
+
+    payloads: List[JobPayload] = []
+    for job in jobs:
+        key = ""
+        if spec.enabled and spec.root:
+            key = schedule_cache_key(
+                job.block, job.machine, job.spec.to_dict(), salt=spec.salt
+            )
+        if intern_machines:
+            payloads.append(
+                JobPayload(
+                    job=replace(job, machine=None),
+                    machine_ref=MachineRef.of(job.machine),
+                    cache=spec,
+                    cache_key=key,
+                )
+            )
+        else:
+            payloads.append(JobPayload(job=job, cache=spec, cache_key=key))
+
+    result = runner.map(
+        _run_payload_job,
+        payloads,
+        job_ids=[job.job_id for job in jobs],
+        on_error="capture",
+    )
+    stats = CacheStats()
+    for index, value in enumerate(result.values):
+        if value is None:
+            continue
+        outcome, schedule_result = value
+        stats.record(outcome)
+        result.values[index] = schedule_result
+    result.cache = stats
+    if result.failures and on_error == "raise":
+        raise BatchError(result.failures)
     return result
 
 

@@ -43,6 +43,13 @@ from repro.scheduler.policy import (
     cheap_extraction,
     partial_cluster_hints,
 )
+from repro.scheduler.fingerprint import (
+    CODE_SALT,
+    block_digest,
+    machine_digest,
+    schedule_cache_key,
+    spec_digest,
+)
 from repro.scheduler.vcs import VcsConfig, VirtualClusterScheduler
 from repro.scheduler.registry import (
     BackendInfo,
@@ -79,6 +86,11 @@ __all__ = [
     "SchedulePolicy",
     "cheap_extraction",
     "partial_cluster_hints",
+    "CODE_SALT",
+    "block_digest",
+    "machine_digest",
+    "schedule_cache_key",
+    "spec_digest",
     "VcsConfig",
     "VirtualClusterScheduler",
     "BackendInfo",

@@ -23,7 +23,10 @@ from repro.runner import (
     resolve_jobs,
     run_schedule_job,
     schedule_job_id,
+    shared_pool,
+    shutdown_shared_pools,
 )
+from repro.runner.pool import pool_reuse_enabled
 from repro.scheduler import VcsConfig
 from repro.workloads import all_kernels, build_benchmark, profile_by_name, stable_block_id
 from repro.workloads.synth import GeneratorConfig, SuperblockGenerator
@@ -70,16 +73,18 @@ class TestResolveJobs:
         assert resolve_jobs(2) == 2
         assert BatchScheduler(jobs=2).n_workers == 2
 
-    def test_auto_and_nonpositive_use_cpu_count(self, monkeypatch):
+    def test_auto_uses_cpu_count(self, monkeypatch):
         expected = os.cpu_count() or 1
         assert resolve_jobs("auto") == expected
-        assert resolve_jobs(0) == expected
         monkeypatch.setenv("REPRO_JOBS", "auto")
         assert resolve_jobs() == expected
 
+    @pytest.mark.parametrize("bad", [0, -1, -8, "many", "0", 1.5])
+    def test_nonpositive_and_nonint_rejected(self, bad):
+        with pytest.raises(ValueError, match="positive integer or 'auto'"):
+            resolve_jobs(bad)
+
     def test_invalid_values_rejected(self):
-        with pytest.raises(ValueError):
-            resolve_jobs("many")
         with pytest.raises(ValueError):
             BatchScheduler(chunk_size=0)
         with pytest.raises(ValueError):
@@ -239,6 +244,97 @@ class TestFailurePropagation:
     def test_mismatched_job_ids_rejected(self):
         with pytest.raises(ValueError):
             BatchScheduler().map(_double, [1, 2], job_ids=["only-one"])
+
+
+# --------------------------------------------------------------------------- #
+# persistent shared pool
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def clean_pools():
+    """Isolate each test from pools created by earlier batches."""
+    shutdown_shared_pools()
+    yield
+    shutdown_shared_pools()
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_batches(self, clean_pools):
+        runner = BatchScheduler(jobs=2, persistent=True)
+        first = runner.map(_double, [1, 2, 3])
+        second = runner.map(_double, [4, 5, 6])
+        assert first.values == [2, 4, 6] and second.values == [8, 10, 12]
+        pool = shared_pool(2)
+        assert pool.alive
+        assert pool.spin_ups == 1, "second batch must reuse the first batch's executor"
+        assert pool.batches_served == 2
+
+    def test_two_runners_share_one_pool(self, clean_pools):
+        BatchScheduler(jobs=2, persistent=True).map(_double, [1, 2])
+        BatchScheduler(jobs=2, persistent=True).map(_double, [3, 4])
+        assert shared_pool(2).spin_ups == 1
+
+    def test_crash_replaces_pool_and_next_batch_recovers(self, clean_pools):
+        runner = BatchScheduler(jobs=2, chunk_size=1, persistent=True)
+        crashed = runner.map(_exit_hard, [1, 2, 3], on_error="capture")
+        assert not crashed.ok and any(f.kind == "crash" for f in crashed.failures)
+        # The broken executor was discarded; a fresh one serves the next batch.
+        after = runner.map(_double, [5, 6])
+        assert after.ok and after.values == [10, 12]
+        assert shared_pool(2).spin_ups == 2
+
+    def test_timeout_replaces_pool_and_next_batch_recovers(self, clean_pools):
+        runner = BatchScheduler(jobs=2, chunk_size=1, timeout=0.5, persistent=True)
+        timed_out = runner.map(_sleep_long, [1, 2], on_error="capture")
+        assert {f.kind for f in timed_out.failures} <= {"timeout", "cancelled", "crash"}
+        after = BatchScheduler(jobs=2, persistent=True).map(_double, [7, 8])
+        assert after.ok and after.values == [14, 16]
+
+    def test_fresh_mode_leaves_no_shared_pool(self, clean_pools, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "fresh")
+        assert not pool_reuse_enabled()
+        result = BatchScheduler(jobs=2).map(_double, [1, 2, 3])
+        assert result.values == [2, 4, 6]
+        assert not shared_pool(2).alive
+
+    def test_reuse_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL", raising=False)
+        assert pool_reuse_enabled()
+        for value in ("fresh", "off", "0", "FALSE"):
+            monkeypatch.setenv("REPRO_POOL", value)
+            assert not pool_reuse_enabled()
+
+    def test_parallel_schedule_results_identical_on_shared_pool(
+        self, clean_pools, mixed_blocks
+    ):
+        machine = paper_2c_8i_1lat()
+        jobs = enumerate_workload_jobs(
+            "pool-test",
+            mixed_blocks,
+            machine,
+            vcs_config=VcsConfig(work_budget=20_000),
+        )
+        serial = BatchScheduler(jobs=1).map(run_schedule_job, jobs)
+        runner = BatchScheduler(jobs=2, persistent=True)
+        first = runner.map(run_schedule_job, jobs)
+        second = runner.map(run_schedule_job, jobs)
+        assert shared_pool(2).spin_ups == 1
+        for s, a, b in zip(serial.values, first.values, second.values):
+            assert s.fingerprint() == a.fingerprint() == b.fingerprint()
+            assert s.work == a.work == b.work
+
+
+class TestMachineInterning:
+    def test_machine_ref_round_trips(self):
+        from repro.runner import MachineRef
+        from repro.runner.pool import resolve_machine
+        from repro.scheduler import machine_digest
+
+        machine = paper_4c_16i_1lat()
+        ref = MachineRef.of(machine)
+        rebuilt = resolve_machine(ref)
+        assert machine_digest(rebuilt) == ref.digest == machine_digest(machine)
+        # Same digest resolves to the same interned object.
+        assert resolve_machine(ref) is rebuilt
 
 
 # --------------------------------------------------------------------------- #

@@ -374,6 +374,60 @@ class TestScenarioCli:
         assert results["matrix"]["workload_families"] == ["kernels"]
         assert len(results["matrix"]["cells"]) == 6
 
+    def test_no_cache_and_cache_dir_conflict(self):
+        proc = self._run("--no-cache", "--cache-dir", "/tmp/x")
+        assert proc.returncode != 0
+        assert "mutually exclusive" in proc.stderr
+        assert "--no-cache" in proc.stderr and "--cache-dir" in proc.stderr
+
+    def test_cache_dir_must_be_a_directory(self, tmp_path):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("file, not a directory")
+        proc = self._run("--cache-dir", str(not_a_dir))
+        assert proc.returncode != 0
+        assert "not a directory" in proc.stderr
+        assert str(not_a_dir) in proc.stderr
+
+    def _matrix_args(self, out, *extra):
+        return (
+            "--experiment", "matrix",
+            "--machine-family", "p2p",
+            "--workload-family", "kernels",
+            "--blocks", "1",
+            "--quiet",
+            "--output", str(out),
+            *extra,
+        )
+
+    def test_cache_dir_serves_warm_rerun_from_cache(self, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        cold_out, warm_out = tmp_path / "cold.json", tmp_path / "warm.json"
+        cold = self._run(*self._matrix_args(cold_out, "--cache-dir", str(cache_dir)))
+        warm = self._run(*self._matrix_args(warm_out, "--cache-dir", str(cache_dir)))
+        assert cold.returncode == 0, cold.stderr
+        assert warm.returncode == 0, warm.stderr
+        cold_report = json.loads(cold_out.read_text())
+        warm_report = json.loads(warm_out.read_text())
+        assert cold_report["meta"]["cache"]["dir"] == str(cache_dir)
+        assert cold_report["meta"]["cache"]["hits"] == 0
+        warm_cache = warm_report["meta"]["cache"]
+        assert warm_cache["misses"] == 0 and warm_cache["hits"] == warm_cache["lookups"] > 0
+        # The warm run recomputed nothing yet reports identical cells.
+        assert warm_report["results"]["matrix"] == cold_report["results"]["matrix"]
+
+    def test_no_cache_disables_caching(self, tmp_path):
+        import json
+
+        out = tmp_path / "nocache.json"
+        proc = self._run(*self._matrix_args(out, "--no-cache"))
+        assert proc.returncode == 0, proc.stderr
+        cache_meta = json.loads(out.read_text())["meta"]["cache"]
+        assert cache_meta["enabled"] is False
+        assert cache_meta["dir"] is None
+        assert cache_meta["lookups"] == 0
+
 
 class TestScheduledCommLatency:
     def test_comm_occupies_its_window(self):
