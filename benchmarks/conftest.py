@@ -28,15 +28,17 @@ except ImportError:  # Fallback: make the src layout importable in place.
 import pytest
 
 from repro.analysis import EffortThresholds
+from repro.config import RuntimeConfig
 from repro.runner import BatchScheduler
 
 
 def bench_blocks() -> int:
-    return int(os.environ.get("REPRO_BENCH_BLOCKS", "2"))
+    blocks = RuntimeConfig.load().bench_blocks
+    return 2 if blocks is None else blocks
 
 
 def bench_budget() -> int:
-    return int(os.environ.get("REPRO_BENCH_BUDGET", "60000"))
+    return RuntimeConfig.load().bench_budget
 
 
 def bench_thresholds() -> EffortThresholds:

@@ -329,12 +329,12 @@ def measure_runner(n_synth: int, jobs: int) -> dict:
     """
     from repro.analysis.experiments import run_scenario_matrix
     from repro.machine import paper_configurations
+    from repro.api import schedule_many
     from repro.runner import (
         BatchScheduler,
         CacheSpec,
         CacheStats,
         ScheduleJob,
-        map_schedule_jobs,
         schedule_job_id,
         shared_pool_stats,
         shutdown_shared_pools,
@@ -364,17 +364,17 @@ def measure_runner(n_synth: int, jobs: int) -> dict:
     reused_runner = BatchScheduler(jobs=jobs, persistent=True)
     # Warm-up batch: spin the shared pool up and pre-import the workers,
     # so the reuse leg measures steady-state batches, not the first spin-up.
-    map_schedule_jobs(job_list[:2], runner=reused_runner, cache=no_cache)
+    schedule_many(job_list[:2], runner=reused_runner, cache=no_cache)
     t0 = time.perf_counter()
     for batch in batches:
-        map_schedule_jobs(batch, runner=reused_runner, cache=no_cache)
+        schedule_many(batch, runner=reused_runner, cache=no_cache)
     reused_wall = time.perf_counter() - t0
     pool_stats = shared_pool_stats()
 
     fresh_runner = BatchScheduler(jobs=jobs, persistent=False)
     t0 = time.perf_counter()
     for batch in batches:
-        map_schedule_jobs(batch, runner=fresh_runner, cache=no_cache)
+        schedule_many(batch, runner=fresh_runner, cache=no_cache)
     fresh_wall = time.perf_counter() - t0
 
     pool = {
@@ -390,11 +390,11 @@ def measure_runner(n_synth: int, jobs: int) -> dict:
     # --- warm-pool parallel vs serial throughput ----------------------- #
     serial_runner = BatchScheduler(jobs=1)
     t0 = time.perf_counter()
-    serial_batch = map_schedule_jobs(job_list, runner=serial_runner, cache=no_cache)
+    serial_batch = schedule_many(job_list, runner=serial_runner, cache=no_cache)
     serial_wall = time.perf_counter() - t0
     # The shared pool is already warm from the pool measurement above.
     t0 = time.perf_counter()
-    parallel_batch = map_schedule_jobs(job_list, runner=reused_runner, cache=no_cache)
+    parallel_batch = schedule_many(job_list, runner=reused_runner, cache=no_cache)
     parallel_wall = time.perf_counter() - t0
     identical = [r.fingerprint() for r in serial_batch.values] == [
         r.fingerprint() for r in parallel_batch.values
@@ -456,6 +456,89 @@ def measure_runner(n_synth: int, jobs: int) -> dict:
         ),
     }
     return {"pool": pool, "parallel": parallel, "matrix": matrix}
+
+
+#: Concurrent HTTP clients of the service load benchmark (the gate
+#: requires >= 4).
+SERVICE_CLIENTS = 4
+
+
+def measure_service(jobs: int, n_clients: int = SERVICE_CLIENTS) -> dict:
+    """The HTTP job-server load benchmark (current tree only).
+
+    Submits the gated 12-cell scenario sample (the same flat job list
+    as the ``matrix`` measurement) to a live in-process
+    :class:`repro.service.JobServer` with a fresh temp result cache,
+    from ``n_clients`` concurrent clients: a cold pass that computes
+    and stores, then a warm pass that must be served 100% from cache.
+    Gated: the aggregate HTTP schedule digest and ``dp_work`` must be
+    byte-identical to the batch path's, and the warm hit rate must be
+    1.0.  Submit-to-result latency percentiles are reported, not gated.
+    """
+    # Runs as a script, so the scripts directory is on sys.path.
+    from check_service_identity import batch_reference, http_pass, latency_summary
+
+    from repro.analysis.experiments import scenario_matrix_jobs
+    from repro.runner import BatchScheduler, CacheSpec, fingerprint_digest
+    from repro.service import ServerThread
+
+    job_list = scenario_matrix_jobs(
+        SCENARIO_MACHINE_FAMILIES,
+        SCENARIO_WORKLOAD_FAMILIES,
+        SCENARIO_BACKENDS,
+        blocks_per_benchmark=SCENARIO_BLOCKS,
+    )
+    reference = batch_reference(job_list, jobs)
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        with ServerThread(
+            runner=BatchScheduler(jobs=jobs), cache=CacheSpec(root=tmp)
+        ) as server:
+            t0 = time.perf_counter()
+            cold_responses, cold_latencies, cold_errors = http_pass(
+                server.url, job_list, n_clients
+            )
+            cold_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm_responses, warm_latencies, warm_errors = http_pass(
+                server.url, job_list, n_clients
+            )
+            warm_wall = time.perf_counter() - t0
+
+    def pass_section(responses, latencies, errors, wall):
+        done = [r for r in responses if r is not None and r.state == "done"]
+        return {
+            "wall_s": wall,
+            "completed": len(done),
+            "errors": len(errors) + sum(1 for r in responses if r is None),
+            "cache_hits": sum(1 for r in done if r.cache == "hit"),
+            # A digest over the per-job digests (one per response, in
+            # submission order) — comparable to the batch-side ``digest``.
+            "http_digest": fingerprint_digest([r.digest for r in done]),
+            "http_dp_work": sum(r.work for r in done),
+            "latency": latency_summary(latencies),
+        }
+
+    cold = pass_section(cold_responses, cold_latencies, cold_errors, cold_wall)
+    warm = pass_section(warm_responses, warm_latencies, warm_errors, warm_wall)
+    n_jobs = len(job_list)
+    return {
+        "clients": n_clients,
+        "workers": jobs,
+        "jobs": n_jobs,
+        "digest": fingerprint_digest([r["digest"] for r in reference]),
+        "dp_work": sum(r["dp_work"] for r in reference),
+        "cold": cold,
+        "warm": warm,
+        "warm_hit_rate": warm["cache_hits"] / n_jobs if n_jobs else 0.0,
+        "http_identical_to_batch": (
+            cold["http_digest"] == warm["http_digest"]
+            and cold["http_dp_work"] == warm["http_dp_work"] == sum(
+                r["dp_work"] for r in reference
+            )
+            and [r.digest if r is not None else None for r in cold_responses]
+            == [r["digest"] for r in reference]
+        ),
+    }
 
 
 #: The anytime-quality sample: budget fractions of each block's own full-run
@@ -766,6 +849,11 @@ def main() -> int:
         f"(pool reuse, warm throughput, matrix cache; {jobs} workers)..."
     )
     runner = measure_runner(args.blocks, max(jobs, 2))
+    print(
+        "[bench] current tree, HTTP job server "
+        f"({SERVICE_CLIENTS} clients x 12-cell matrix, cold+warm; {max(jobs, 2)} workers)..."
+    )
+    service = measure_service(max(jobs, 2))
     if args.cprofile > 0:
         print(f"[bench] current tree, cProfile of the trail-mode vcs leg (top {args.cprofile})...")
         profile_vcs_leg(args.blocks, args.cprofile, args.cprofile_output)
@@ -811,6 +899,7 @@ def main() -> int:
         ),
         "parallel": parallel_section(jobs, trail_wall, parallel_wall, parallel_identical),
         "runner": runner,
+        "service": service,
         "backends": backends,
         "scenarios": scenarios,
         "policy": policy,
@@ -865,6 +954,14 @@ def main() -> int:
         f"{matrix_info['warm_wall_s']:.2f}s ({matrix_info['warm_speedup_vs_cold']:.1f}x), "
         f"{matrix_info['warm_recomputed']} of {matrix_info['cells']} cells recomputed warm, "
         f"digests identical={matrix_info['digests_identical_warm_vs_cold']}"
+    )
+    print(
+        f"[bench] service: {service['jobs']} jobs x {service['clients']} clients over HTTP | "
+        f"cold p50 {service['cold']['latency']['p50_s'] * 1000:.0f}ms "
+        f"p99 {service['cold']['latency']['p99_s'] * 1000:.0f}ms | "
+        f"warm p50 {service['warm']['latency']['p50_s'] * 1000:.0f}ms | "
+        f"warm hit rate {service['warm_hit_rate']:.0%} | "
+        f"identical={service['http_identical_to_batch']}"
     )
     if baseline is not None:
         print(f"[bench] baseline({args.baseline_rev}) {total_wall(baseline):.2f}s | "

@@ -12,12 +12,15 @@ Two checks keep ``docs/`` from rotting:
 2. **The tuning table is generated, not hand-maintained.**  The knob
    table in ``docs/tuning.md`` between the ``BEGIN/END GENERATED``
    markers is produced by this script from ``dataclasses.fields(VcsConfig)``
-   plus the ``KNOB_NOTES`` dict below.  ``--write`` regenerates it in
-   place; without ``--write`` the script diffs and fails on mismatch.
-   A ``VcsConfig`` field missing from ``KNOB_NOTES`` is an error (new
-   knobs must be documented to land), as is a stale ``KNOB_NOTES`` entry
-   or a ``REPRO_*`` token in the source tree that the table does not
-   cover.
+   plus the ``KNOB_NOTES`` dict below, and — for the process-level
+   ``REPRO_*`` environment knobs — from the typed
+   :data:`repro.config.ENV_KNOBS` registry (the same source
+   ``RuntimeConfig.load`` parses from, so the table can't drift from the
+   loader).  ``--write`` regenerates it in place; without ``--write``
+   the script diffs and fails on mismatch.  A ``VcsConfig`` field
+   missing from ``KNOB_NOTES`` is an error (new knobs must be
+   documented to land), as is a stale ``KNOB_NOTES`` entry or a
+   ``REPRO_*`` token in the source tree that the table does not cover.
 
 Run from the repo root::
 
@@ -39,6 +42,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.config import ENV_KNOBS  # noqa: E402
 from repro.scheduler.vcs import VcsConfig  # noqa: E402
 
 TUNING_MD = REPO / "docs" / "tuning.md"
@@ -128,46 +132,9 @@ KNOB_NOTES = {
     ),
 }
 
-# Environment knobs that are not VcsConfig fields.  Name -> (default,
-# byte-identity impact, what it does).
-ENV_KNOBS = {
-    "REPRO_JOBS": (
-        "1",
-        "byte-identical for any value (gated in CI at 1 and 2)",
-        "worker-process count for the benchmark harness and batch runner",
-    ),
-    "REPRO_SCHEDULER": (
-        "vcs",
-        "selects the backend — results differ across backends by design",
-        "default backend for run_suite.py and the harness (vcs/cars/list/hybrid)",
-    ),
-    "REPRO_BENCH_BLOCKS": (
-        "unset (full workload)",
-        "changes the workload, not determinism",
-        "cap synthetic blocks per suite — CI uses 1 for the perf-smoke gate",
-    ),
-    "REPRO_BENCH_BUDGET": (
-        "60000",
-        "changes the benchmark work budget, not determinism",
-        'the "4-minute-equivalent" dp_work budget of the pytest benchmark harness',
-    ),
-    "REPRO_CACHE": (
-        "on",
-        "byte-identical — hits replay stored results keyed by content",
-        "`off` disables the on-disk result cache (same as run_suite.py --no-cache)",
-    ),
-    "REPRO_CACHE_DIR": (
-        "~/.cache/repro",
-        "byte-identical — relocates the store, never the results",
-        "result-cache directory (run_suite.py --cache-dir overrides per run)",
-    ),
-    "REPRO_POOL": (
-        "persistent",
-        "byte-identical — reuse only changes wall time",
-        "`fresh`/`off` restores an executor per batch instead of the shared "
-        "persistent worker pool",
-    ),
-}
+# The process-level REPRO_* environment knobs are NOT listed here: they
+# live in the typed ``repro.config.ENV_KNOBS`` registry (one source for
+# the loader, this table and the service defaults).
 
 
 def derived_env(field_name: str) -> str:
@@ -210,8 +177,10 @@ def generate_table() -> tuple[str, list[str]]:
             f"| `VcsConfig.{f.name}` | `{derived_env(f.name)}` "
             f"| {format_default(f.default)} | {identity} | {note} |"
         )
-    for name, (default, identity, note) in ENV_KNOBS.items():
-        lines.append(f"| — | `{name}` | {default} | {identity} | {note} |")
+    for knob in ENV_KNOBS:
+        lines.append(
+            f"| — | `{knob.env}` | {knob.default_text} | {knob.identity} | {knob.note} |"
+        )
     return "\n".join(lines), errors
 
 
@@ -221,8 +190,10 @@ ENV_TOKEN = re.compile(r"REPRO_[A-Z0-9_]+")
 def check_env_coverage(errors: list[str]) -> None:
     """Every REPRO_* token in the tree must be covered by the table."""
     known = {derived_env(f.name) for f in dataclasses.fields(VcsConfig)}
-    known |= set(ENV_KNOBS)
+    known |= {knob.env for knob in ENV_KNOBS}
     known.add("REPRO_VCS_")  # the bare prefix constant in registry.py
+    # Doc-prose mentions of knob *groups* ("REPRO_SERVICE_*"), not knobs.
+    known.update({"REPRO_BENCH_", "REPRO_SERVICE_"})
     found: set[str] = set()
     for root in ("src", "scripts", "benchmarks", "tests", ".github"):
         base = REPO / root

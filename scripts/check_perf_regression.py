@@ -360,6 +360,60 @@ def check_runner(new_section, errors: list) -> None:
         )
 
 
+def check_service(new_section, errors: list) -> None:
+    """Gate the HTTP job-server section of the fresh report.
+
+    Presence is gated, as are the deterministic invariants: >= 4
+    concurrent clients, every HTTP response byte-identical to the batch
+    path (aggregate digest and ``dp_work``), and a warm replay served
+    100% from the result cache.  Submit-to-result latency percentiles
+    are reported, not gated (host dependent)."""
+    if not new_section:
+        errors.append(
+            "fresh report is missing the 'service' section "
+            "(bench_report.py no longer measuring the HTTP job server?)"
+        )
+        return
+    n_before = len(errors)
+    clients = new_section.get("clients", 0)
+    if clients < 4:
+        errors.append(
+            f"service load bench ran {clients} concurrent client(s); the gate "
+            "requires >= 4"
+        )
+    if new_section.get("http_identical_to_batch") is not True:
+        errors.append(
+            "HTTP job-server responses are not byte-identical to the batch "
+            f"path (service section: cold digest "
+            f"{new_section.get('cold', {}).get('http_digest')!r} vs batch "
+            f"{new_section.get('digest')!r})"
+        )
+    hit_rate = new_section.get("warm_hit_rate")
+    if hit_rate != 1.0:
+        errors.append(
+            f"warm HTTP replay hit rate {hit_rate!r} != 1.0 — repeated "
+            "submissions must be served from the result cache "
+            f"(warm pass: {new_section.get('warm')})"
+        )
+    for leg in ("cold", "warm"):
+        pass_stats = new_section.get(leg, {})
+        if pass_stats.get("errors"):
+            errors.append(
+                f"service {leg} pass had {pass_stats['errors']} failed "
+                f"submission(s) of {new_section.get('jobs')} jobs"
+            )
+    if len(errors) == n_before:
+        cold = new_section.get("cold", {}).get("latency", {})
+        warm = new_section.get("warm", {}).get("latency", {})
+        print(
+            f"[gate] service: {new_section.get('jobs')} jobs x {clients} clients, "
+            f"HTTP identical to batch, warm hit rate 1.0 | latency cold "
+            f"p50 {cold.get('p50_s', 0) * 1000:.0f}ms p99 {cold.get('p99_s', 0) * 1000:.0f}ms, "
+            f"warm p50 {warm.get('p50_s', 0) * 1000:.0f}ms "
+            f"p99 {warm.get('p99_s', 0) * 1000:.0f}ms (not gated)"
+        )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("committed", help="the BENCH_vcs.json checked into the repository")
@@ -469,6 +523,7 @@ def main() -> int:
             f"({throughput_note}), schedules identical"
         )
     check_runner(fresh.get("runner"), errors)
+    check_service(fresh.get("service"), errors)
 
     if fresh.get("schedules_identical_trail_vs_copy") is not True:
         errors.append("trail and copy probing modes disagree in the fresh run")

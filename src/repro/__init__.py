@@ -119,6 +119,15 @@ from repro.runner import (
     run_schedule_job,
     resolve_jobs,
 )
+from repro.api import (
+    JobStatus,
+    ScheduleRequest,
+    ScheduleResponse,
+    schedule_many,
+    submit,
+    wait,
+)
+from repro.config import RuntimeConfig
 
 __version__ = "1.0.0"
 
@@ -215,5 +224,13 @@ __all__ = [
     "enumerate_workload_jobs",
     "run_schedule_job",
     "resolve_jobs",
+    # api facade / runtime config
+    "JobStatus",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "schedule_many",
+    "submit",
+    "wait",
+    "RuntimeConfig",
     "__version__",
 ]

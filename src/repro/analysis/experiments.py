@@ -33,13 +33,14 @@ from repro.analysis.metrics import (
 )
 from repro.machine.families import machine_family
 from repro.machine.machine import ClusteredMachine
+from repro.api import schedule_many
 from repro.runner import (
     SCHEDULER_KINDS,
     BatchScheduler,
     CacheStats,
+    ScheduleJob,
     enumerate_workload_jobs,
     fingerprint_digest,
-    map_schedule_jobs,
 )
 from repro.scheduler.schedule import ScheduleResult
 from repro.scheduler.vcs import VcsConfig
@@ -146,7 +147,7 @@ def run_experiment_records(
         specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
         jobs.extend(pair_jobs)
 
-    batch = map_schedule_jobs(jobs, runner=runner, cache=cache)
+    batch = schedule_many(jobs, runner=runner, cache=cache)
     if cache_stats is not None and batch.cache is not None:
         cache_stats.merge(batch.cache)
 
@@ -309,7 +310,7 @@ def run_backend_records(
             specs.append(_RecordSpec(workload, machine, len(jobs), len(pair_jobs)))
             jobs.extend(pair_jobs)
 
-    batch = map_schedule_jobs(jobs, runner=runner, cache=cache)
+    batch = schedule_many(jobs, runner=runner, cache=cache)
     if cache_stats is not None and batch.cache is not None:
         cache_stats.merge(batch.cache)
 
@@ -449,6 +450,64 @@ class ScenarioCell:
         }
 
 
+def _scenario_inputs(
+    machine_families: Sequence[str],
+    workload_families: Sequence[str],
+    blocks_per_benchmark: Optional[int],
+) -> Tuple[List[Tuple[str, ClusteredMachine]], list, Dict[str, str]]:
+    """Resolve the matrix's named families into concrete (family, machine)
+    pairs and (family, workload) pairs, deduplicating machine specs shared
+    between families (first family wins, matching the cell attribution)."""
+    machines: List[Tuple[str, ClusteredMachine]] = []
+    seen_machines: Dict[str, str] = {}
+    for family_name in machine_families:
+        for machine in machine_family(family_name).machines():
+            if machine.name in seen_machines:
+                continue  # families may share identically-named specs
+            seen_machines[machine.name] = family_name
+            machines.append((family_name, machine))
+    workloads = build_workload_families(workload_families, blocks_per_benchmark)
+    return machines, workloads, seen_machines
+
+
+def scenario_matrix_jobs(
+    machine_families: Sequence[str],
+    workload_families: Sequence[str],
+    backends: Sequence[str] = ("vcs",),
+    blocks_per_benchmark: Optional[int] = None,
+    work_budget: Optional[int] = None,
+    vcs_config: Optional[VcsConfig] = None,
+    check_schedules: bool = True,
+) -> List[ScheduleJob]:
+    """The scenario matrix as a flat job list, in the exact canonical
+    order :func:`run_scenario_matrix` batches it (machines outer, then
+    workload families' workloads, blocks, ``backends`` innermost).
+
+    This is the shared enumeration behind the batch matrix and the HTTP
+    service-identity gate (``scripts/check_service_identity.py``): both
+    paths schedule *these* jobs, so per-job results can be compared
+    position by position and digests must match byte for byte.
+    """
+    machines, workloads, _ = _scenario_inputs(
+        machine_families, workload_families, blocks_per_benchmark
+    )
+    config = _effective_config(vcs_config, work_budget)
+    jobs: List[ScheduleJob] = []
+    for _, machine in machines:
+        for _, workload in workloads:
+            jobs.extend(
+                enumerate_workload_jobs(
+                    workload.name,
+                    workload.blocks,
+                    machine,
+                    vcs_config=config,
+                    check_schedules=check_schedules,
+                    schedulers=tuple(backends),
+                )
+            )
+    return jobs
+
+
 def run_scenario_matrix(
     machine_families: Sequence[str],
     workload_families: Sequence[str],
@@ -474,15 +533,9 @@ def run_scenario_matrix(
     families, then backends), and a parallel run is byte-identical to a
     serial one like every other driver.
     """
-    machines: List[Tuple[str, ClusteredMachine]] = []
-    seen_machines: Dict[str, str] = {}
-    for family_name in machine_families:
-        for machine in machine_family(family_name).machines():
-            if machine.name in seen_machines:
-                continue  # families may share identically-named specs
-            seen_machines[machine.name] = family_name
-            machines.append((family_name, machine))
-    workloads = build_workload_families(workload_families, blocks_per_benchmark)
+    machines, workloads, seen_machines = _scenario_inputs(
+        machine_families, workload_families, blocks_per_benchmark
+    )
 
     records = run_backend_records(
         [workload for _, workload in workloads],

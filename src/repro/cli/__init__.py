@@ -1,0 +1,46 @@
+"""The ``repro`` console entry point.
+
+One installed command, subcommand-per-driver::
+
+    repro suite --jobs 4 --experiment all      # the paper's evaluation suite
+    repro serve --port 8423                    # the HTTP schedule-job server
+
+Both subcommands are thin ``main(argv)`` functions over the same
+:mod:`repro.api` facade the analysis drivers use, so the CLI adds no
+behaviour of its own — ``repro suite`` is byte-identical to the
+library path, and ``repro serve`` dispatches through the identical
+batch runner + result cache.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+_USAGE = """\
+usage: repro <command> [options]
+
+commands:
+  suite    run the paper's evaluation suite (figures 10-12 experiments)
+  serve    run the asyncio HTTP schedule-job server
+
+Run 'repro <command> --help' for command options.
+"""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "suite":
+        from repro.cli.suite import main as suite_main
+
+        return suite_main(rest)
+    if command == "serve":
+        from repro.cli.serve import main as serve_main
+
+        return serve_main(rest)
+    print(f"repro: unknown command {command!r}\n\n{_USAGE}", end="", file=sys.stderr)
+    return 2

@@ -1,0 +1,5 @@
+"""``python -m repro.cli`` — the uninstalled form of the ``repro`` command."""
+
+from repro.cli import main
+
+raise SystemExit(main())

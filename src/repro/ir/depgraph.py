@@ -189,6 +189,57 @@ class DependenceGraph:
         data = self._graph.edges[src, dst]
         return DepEdge(src, dst, data["kind"], data["latency"], data.get("value"))
 
+    def ordered_edges(self) -> List[DepEdge]:
+        """The edges in an insertion-compatible order.
+
+        :meth:`edges` iterates grouped by source node, which loses the
+        *interleaving* of the original ``add_edge`` calls — and per-node
+        predecessor/successor iteration order is behaviour a rebuilt
+        graph must reproduce (the deduction engine walks adjacency in
+        that order, so ``dp_work`` depends on it).  This method merges
+        the per-node successor and predecessor orders back into one
+        sequence: replaying ``add_edge`` over it yields a graph whose
+        adjacency iteration orders match this one node for node.  The
+        wire format of :func:`repro.api.block_to_dict` serialises edges
+        in this order, which is what makes a wire round-tripped block
+        schedule byte-identically (digest *and* work counters).
+
+        The greedy merge cannot deadlock: among the not-yet-emitted
+        edges, the one inserted earliest originally is always at the
+        head of both its source's successor order and its target's
+        predecessor order.
+        """
+        graph = self._graph
+        succ = {node: list(graph.successors(node)) for node in graph.nodes()}
+        pred_head = {node: 0 for node in graph.nodes()}
+        succ_head = {node: 0 for node in graph.nodes()}
+        pred = {node: list(graph.predecessors(node)) for node in graph.nodes()}
+        ordered: List[DepEdge] = []
+        remaining = graph.number_of_edges()
+        while remaining:
+            progress = False
+            for src in graph.nodes():
+                while succ_head[src] < len(succ[src]):
+                    dst = succ[src][succ_head[src]]
+                    if pred[dst][pred_head[dst]] != src:
+                        break
+                    data = graph.edges[src, dst]
+                    ordered.append(
+                        DepEdge(src, dst, data["kind"], data["latency"], data.get("value"))
+                    )
+                    succ_head[src] += 1
+                    pred_head[dst] += 1
+                    remaining -= 1
+                    progress = True
+            if not progress:  # pragma: no cover - unreachable for real graphs
+                ordered.extend(
+                    edge
+                    for edge in self.edges()
+                    if not any(e.src == edge.src and e.dst == edge.dst for e in ordered)
+                )
+                break
+        return ordered
+
     def predecessors(self, op_id: int) -> Tuple[DepEdge, ...]:
         """Incoming edges of *op_id*."""
         return self._structures()[1][op_id]

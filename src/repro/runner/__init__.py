@@ -21,8 +21,9 @@ can be sharded across a process pool.  The package provides:
   suite re-runs recompute only changed cells.
 * :class:`ScheduleJob` / :func:`run_schedule_job` — the picklable job
   description and the module-level worker that executes one scheduler on
-  one block; :func:`map_schedule_jobs` is the cache-aware,
-  machine-interning driver the suite entry points use.
+  one block; :func:`repro.api.schedule_many` is the cache-aware,
+  machine-interning driver the suite entry points use
+  (:func:`map_schedule_jobs` remains as a deprecated alias).
 * :func:`enumerate_workload_jobs` — deterministic job enumeration with
   stable job ids for one workload on one machine.
 

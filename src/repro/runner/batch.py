@@ -36,11 +36,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.config import env_knob, parse_jobs
 from repro.runner.cache import CacheStats
 from repro.runner.pool import PersistentPool, pool_reuse_enabled, shared_pool
 
 #: Environment variable selecting the default worker count.
-JOBS_ENV_VAR = "REPRO_JOBS"
+JOBS_ENV_VAR = env_knob("jobs").env
 
 
 def resolve_jobs(jobs: Optional[object] = None) -> int:
@@ -50,23 +51,13 @@ def resolve_jobs(jobs: Optional[object] = None) -> int:
     environment means serial execution.  ``"auto"`` selects the machine's
     CPU count.  Anything else must be a positive integer — zero and
     negative counts are rejected with :class:`ValueError` (use ``"auto"``
-    to ask for the CPU count explicitly).
+    to ask for the CPU count explicitly).  The parse rule lives in
+    :func:`repro.config.parse_jobs` (precedence: explicit arg > env >
+    default).
     """
     if jobs is None:
         jobs = os.environ.get(JOBS_ENV_VAR, "1")
-    if isinstance(jobs, str):
-        text = jobs.strip().lower()
-        if text == "auto":
-            return os.cpu_count() or 1
-        try:
-            jobs = int(text)
-        except ValueError:
-            raise ValueError(
-                f"invalid job count {jobs!r}: expected a positive integer or 'auto'"
-            ) from None
-    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs <= 0:
-        raise ValueError(f"invalid job count {jobs!r}: expected a positive integer or 'auto'")
-    return jobs
+    return parse_jobs(jobs)
 
 
 @dataclass(frozen=True)
@@ -113,6 +104,10 @@ class BatchResult:
     #: Result-cache hit/miss/store counters aggregated from the workers;
     #: ``None`` when the batch ran without a cache-aware job function.
     cache: Optional[CacheStats] = None
+    #: Per-job outcome tags (``"hit"``/``"miss"``/``"off"``; ``""`` for
+    #: failed jobs), in submission order — the per-job split behind the
+    #: aggregate ``cache`` counters.  ``None`` outside cache-aware runs.
+    cache_outcomes: Optional[List[str]] = None
 
     @property
     def n_jobs(self) -> int:

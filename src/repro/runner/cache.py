@@ -38,31 +38,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.config import env_knob, parse_cache, parse_cache_dir
 from repro.scheduler.fingerprint import CODE_SALT
 
 #: Environment switch: ``REPRO_CACHE=off`` (or ``0``/``false``) disables
 #: the result cache entirely.
-CACHE_ENV_VAR = "REPRO_CACHE"
+CACHE_ENV_VAR = env_knob("cache").env
 #: Environment override for the cache root directory.
-CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
-
-_DEFAULT_ROOT = Path.home() / ".cache" / "repro"
+CACHE_DIR_ENV_VAR = env_knob("cache_dir").env
 
 
 def cache_enabled() -> bool:
-    """Whether the result cache is enabled (``REPRO_CACHE``)."""
-    return os.environ.get(CACHE_ENV_VAR, "on").strip().lower() not in (
-        "off",
-        "0",
-        "false",
-        "no",
-    )
+    """Whether the result cache is enabled (``REPRO_CACHE``).
+
+    Parse rule shared with :class:`repro.config.RuntimeConfig`.
+    """
+    return parse_cache(os.environ.get(CACHE_ENV_VAR, "on"))
 
 
 def default_cache_dir() -> Path:
     """The cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    override = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
-    return Path(override) if override else _DEFAULT_ROOT
+    return Path(parse_cache_dir(os.environ.get(CACHE_DIR_ENV_VAR, "")))
 
 
 @dataclass

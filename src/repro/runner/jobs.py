@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -157,7 +158,7 @@ def _resolve_cache_spec(cache: object) -> CacheSpec:
     raise TypeError(f"cache must be None, a CacheSpec or a ResultCache, got {type(cache).__name__}")
 
 
-def map_schedule_jobs(
+def _execute_job_batch(
     jobs: Sequence[ScheduleJob],
     runner: Optional["BatchScheduler"] = None,
     cache: object = None,
@@ -165,8 +166,9 @@ def map_schedule_jobs(
 ) -> "BatchResult":
     """Run a job list through the (cached, machine-interned) batch runner.
 
-    This is the default driver of every suite/matrix entry point: jobs
-    are keyed by content (:func:`repro.scheduler.fingerprint.schedule_cache_key`)
+    The execution core behind :func:`repro.api.schedule_many` (the public
+    entry point) and the HTTP job server: jobs are keyed by content
+    (:func:`repro.scheduler.fingerprint.schedule_cache_key`)
     and served from the on-disk result cache when possible; cache misses
     compute and store.  ``cache=None`` follows the environment
     (``REPRO_CACHE``/``REPRO_CACHE_DIR``); pass
@@ -212,16 +214,43 @@ def map_schedule_jobs(
         on_error="capture",
     )
     stats = CacheStats()
+    outcomes: List[str] = [""] * len(result.values)
     for index, value in enumerate(result.values):
         if value is None:
             continue
         outcome, schedule_result = value
         stats.record(outcome)
+        outcomes[index] = outcome
         result.values[index] = schedule_result
     result.cache = stats
+    result.cache_outcomes = outcomes
     if result.failures and on_error == "raise":
         raise BatchError(result.failures)
     return result
+
+
+def map_schedule_jobs(
+    jobs: Sequence[ScheduleJob],
+    runner: Optional["BatchScheduler"] = None,
+    cache: object = None,
+    on_error: str = "raise",
+) -> "BatchResult":
+    """Deprecated alias of :func:`repro.api.schedule_many`.
+
+    The batch driver moved behind the :mod:`repro.api` facade so the
+    CLI, the analysis drivers and the HTTP job server share one entry
+    point.  This shim keeps old imports working (identical semantics —
+    it calls the same execution core) but warns; migrate to::
+
+        from repro.api import schedule_many
+    """
+    warnings.warn(
+        "map_schedule_jobs is deprecated; use repro.api.schedule_many "
+        "(same semantics, one facade for CLI, drivers and the job server)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _execute_job_batch(jobs, runner=runner, cache=cache, on_error=on_error)
 
 
 def enumerate_workload_jobs(

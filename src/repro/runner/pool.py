@@ -37,20 +37,20 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.config import env_knob, parse_pool
+
 #: Environment variable selecting the pool policy: ``persistent`` (the
 #: default; one shared executor per worker count, reused across batches)
 #: or ``fresh``/``off`` (one executor per batch, the historical mode).
-POOL_ENV_VAR = "REPRO_POOL"
+POOL_ENV_VAR = env_knob("pool").env
 
 
 def pool_reuse_enabled() -> bool:
-    """Whether the shared persistent pool is enabled (``REPRO_POOL``)."""
-    return os.environ.get(POOL_ENV_VAR, "persistent").strip().lower() not in (
-        "fresh",
-        "off",
-        "0",
-        "false",
-    )
+    """Whether the shared persistent pool is enabled (``REPRO_POOL``).
+
+    Parse rule shared with :class:`repro.config.RuntimeConfig`.
+    """
+    return parse_pool(os.environ.get(POOL_ENV_VAR, "persistent"))
 
 
 def _warm_worker() -> None:

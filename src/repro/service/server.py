@@ -1,0 +1,462 @@
+"""The asyncio job server and its background-thread harness.
+
+:class:`JobServer` accepts :class:`repro.api.ScheduleRequest` JSON over
+a small HTTP/1.1 API, queues it in the fair per-client queue, and drains
+the queue in rounds through :func:`repro.api.schedule_many` on a worker
+thread — the *exact* batch-runner path (shared persistent pool,
+machine interning, content-addressed result cache), so HTTP results are
+byte-identical to batch results and repeated submissions are cache
+hits.
+
+Endpoints (all JSON, ``Connection: close``)::
+
+    GET  /api/v1/health                   liveness + version
+    POST /api/v1/jobs                     submit; body = ScheduleRequest.to_dict()
+    GET  /api/v1/jobs/<id>                JobStatus snapshot
+    GET  /api/v1/jobs/<id>/result[?timeout=S]
+                                          long-poll; 200 + ScheduleResponse when
+                                          terminal, 202 + JobStatus on expiry
+    POST /api/v1/jobs/<id>/cancel         cancel (immediate while queued,
+                                          cooperative while running)
+    GET  /api/v1/clients/<name>           per-client policy + accounting
+    PUT  /api/v1/clients/<name>/policy    set/clear the client's default
+                                          SchedulePolicy (body = dict or null)
+    GET  /api/v1/stats                    queue depth, cache counters, clients
+
+Cancellation semantics: a queued job is cancelled immediately (it never
+runs).  A running job switches to ``cancelling``; the dispatcher cannot
+preempt the in-flight batch (scheduling is CPU-bound in worker
+processes), so the batch finishes, the job's result is *discarded*, and
+the job lands in ``cancelled`` with failure kind ``"cancelled"`` — the
+runner's taxonomy (error/timeout/crash/cancelled) passes through
+unchanged for all other failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.api import JobStatus, ScheduleRequest, ScheduleResponse, schedule_many
+from repro.config import RuntimeConfig
+from repro.runner.batch import BatchResult, BatchScheduler, JobFailure
+from repro.runner.cache import CacheSpec, CacheStats
+from repro.scheduler.policy import SchedulePolicy
+from repro.service.http import HttpError, Request, encode_response, read_request, split_path
+from repro.service.queue import ClientState, FairQueue, ServiceJob
+
+
+class JobServer:
+    """The asyncio HTTP job server (see module docstring for the API).
+
+    Parameters default to the ``REPRO_SERVICE_*`` knobs of
+    :class:`~repro.config.RuntimeConfig`; ``runner`` and ``cache``
+    default to the environment-configured batch runner and result cache
+    (``REPRO_JOBS``, ``REPRO_CACHE``/``REPRO_CACHE_DIR``), exactly like
+    the batch entry points.  ``max_batch`` bounds the jobs dispatched
+    per fair-queue round (default: the runner's worker count, so a
+    round saturates the pool without letting one tenant monopolise it).
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        runner: Optional[BatchScheduler] = None,
+        cache: object = None,
+        max_batch: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        config = config if config is not None else RuntimeConfig.load()
+        self.host = host if host is not None else config.service_host
+        self.port = port if port is not None else config.service_port
+        timeout = job_timeout if job_timeout is not None else config.service_timeout
+        self.runner = runner if runner is not None else BatchScheduler(timeout=timeout)
+        self.cache = cache if cache is not None else CacheSpec.from_env(enabled=config.cache)
+        self.max_batch = max_batch if max_batch is not None else self.runner.n_workers
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+
+        self.queue = FairQueue()
+        self.jobs: Dict[str, ServiceJob] = {}
+        self.clients: Dict[str, ClientState] = {}
+        self.cache_stats = CacheStats()
+        self.rounds_dispatched = 0
+        self._counter = 0
+        self._running = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher."""
+        self._wakeup = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._t0 = time.monotonic()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting connections and wind the dispatcher down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request = await read_request(reader)
+            if request is None:
+                writer.close()
+                return
+            status, payload = await self._route(request)
+        except HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # Defensive: one bad request must not kill the server.
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            writer.write(encode_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _route(self, request: Request) -> Tuple[int, object]:
+        segments = split_path(request.path)
+        if len(segments) < 3 or segments[:2] != ("api", "v1"):
+            raise HttpError(404, f"unknown path {request.path!r}")
+        head, rest = segments[2], segments[3:]
+
+        if head == "health" and not rest:
+            self._expect(request, "GET")
+            return 200, {"ok": True, "version": repro.__version__, "uptime_s": self._now()}
+        if head == "stats" and not rest:
+            self._expect(request, "GET")
+            return 200, self._stats()
+        if head == "jobs" and not rest:
+            self._expect(request, "POST")
+            return self._submit(request)
+        if head == "jobs" and len(rest) == 1:
+            self._expect(request, "GET")
+            job = self._job(rest[0])
+            return 200, {"job": self._status(job).to_dict()}
+        if head == "jobs" and len(rest) == 2 and rest[1] == "result":
+            self._expect(request, "GET")
+            return await self._result(self._job(rest[0]), request.query_float("timeout"))
+        if head == "jobs" and len(rest) == 2 and rest[1] == "cancel":
+            self._expect(request, "POST")
+            return self._cancel(self._job(rest[0]))
+        if head == "clients" and len(rest) == 1:
+            self._expect(request, "GET")
+            return 200, {"client": self._client(rest[0]).to_dict()}
+        if head == "clients" and len(rest) == 2 and rest[1] == "policy":
+            self._expect(request, "PUT")
+            return self._set_policy(rest[0], request)
+        raise HttpError(404, f"unknown path {request.path!r}")
+
+    @staticmethod
+    def _expect(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(405, f"{request.path} expects {method}, got {request.method}")
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    def _client(self, name: str) -> ClientState:
+        state = self.clients.get(name)
+        if state is None:
+            state = self.clients[name] = ClientState(name=name)
+        return state
+
+    def _job(self, job_id: str) -> ServiceJob:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"unknown job {job_id!r}")
+        return job
+
+    def _status(self, job: ServiceJob) -> JobStatus:
+        position = self.queue.position(job) if job.state == "queued" else -1
+        return job.status(queue_position=position)
+
+    def _submit(self, request: Request) -> Tuple[int, object]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError(400, "expected a JSON object (ScheduleRequest.to_dict())")
+        try:
+            schedule_request = ScheduleRequest.from_dict(payload)
+        except Exception as exc:
+            raise HttpError(400, f"invalid schedule request: {exc}") from None
+        client = self._client(schedule_request.client)
+        # A request "brings its own" policy either explicitly or embedded
+        # in its wire VcsConfig (from_dict keeps the canonical carrier).
+        has_policy = schedule_request.policy is not None or (
+            schedule_request.vcs is not None and schedule_request.vcs.policy is not None
+        )
+        if not has_policy and client.policy is not None:
+            # The tenant's default budget policy follows every job that
+            # does not bring its own (backends without a VcsConfig
+            # ignore it, matching the batch path).
+            try:
+                schedule_request = replace(schedule_request, policy=client.policy)
+            except ValueError as exc:
+                raise HttpError(400, f"client policy rejected: {exc}") from None
+
+        self._counter += 1
+        job = ServiceJob(
+            job_id=f"j-{self._counter:06d}",
+            client=schedule_request.client,
+            request=schedule_request,
+            submitted_s=self._now(),
+            done=asyncio.Event(),
+        )
+        self.jobs[job.job_id] = job
+        self.queue.push(job)
+        client.submitted += 1
+        assert self._wakeup is not None
+        self._wakeup.set()
+        return 200, {"job": self._status(job).to_dict()}
+
+    async def _result(self, job: ServiceJob, timeout: Optional[float]) -> Tuple[int, object]:
+        if not job.terminal:
+            assert isinstance(job.done, asyncio.Event)
+            try:
+                await asyncio.wait_for(job.done.wait(), timeout)
+            except asyncio.TimeoutError:
+                return 202, {"job": self._status(job).to_dict()}
+        assert job.response is not None
+        return 200, {
+            "job": self._status(job).to_dict(),
+            "response": job.response.to_dict(),
+        }
+
+    def _cancel(self, job: ServiceJob) -> Tuple[int, object]:
+        if job.terminal:
+            return 200, {"job": self._status(job).to_dict()}
+        job.cancel_requested = True
+        if job.state == "queued":
+            self._finish_cancelled(job, "cancelled while queued")
+        else:
+            # Cooperative: the in-flight batch finishes, then the result
+            # is discarded and the job lands in ``cancelled``.
+            job.state = "cancelling"
+            job.detail = "cancel requested; waiting for the in-flight batch"
+        return 200, {"job": self._status(job).to_dict()}
+
+    def _set_policy(self, name: str, request: Request) -> Tuple[int, object]:
+        payload = request.json() if request.body else None
+        client = self._client(name)
+        if payload is None:
+            client.policy = None
+        elif isinstance(payload, dict):
+            try:
+                client.policy = SchedulePolicy.from_dict(payload)
+            except ValueError as exc:
+                raise HttpError(400, f"invalid policy: {exc}") from None
+        else:
+            raise HttpError(400, "expected a SchedulePolicy dict or null")
+        return 200, {"client": client.to_dict()}
+
+    def _stats(self) -> dict:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "uptime_s": self._now(),
+            "queue_depth": len(self.queue),
+            "running": self._running,
+            "rounds_dispatched": self.rounds_dispatched,
+            "max_batch": self.max_batch,
+            "n_workers": self.runner.n_workers,
+            "jobs": {"total": len(self.jobs), "by_state": states},
+            "cache": self.cache_stats.to_dict(),
+            "clients": {name: state.to_dict() for name, state in self.clients.items()},
+        }
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            if not len(self.queue):
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            batch = self.queue.take_round(self.max_batch)
+            if not batch:
+                continue
+            started = self._now()
+            for job in batch:
+                job.state = "running"
+                job.started_s = started
+            self._running = len(batch)
+            self.rounds_dispatched += 1
+            jobs = [replace(job.request.job(), job_id=job.job_id) for job in batch]
+            try:
+                result = await asyncio.to_thread(
+                    schedule_many, jobs, self.runner, self.cache, "capture"
+                )
+                self._fold(batch, result)
+            except Exception as exc:
+                # A failure of the batch machinery itself (not of a job)
+                # fails the whole round with the runner's error taxonomy.
+                for index, job in enumerate(batch):
+                    failure = JobFailure(
+                        index=index,
+                        job_id=job.job_id,
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                    self._finish_failure(job, failure)
+            finally:
+                self._running = 0
+
+    def _fold(self, batch: List[ServiceJob], result: BatchResult) -> None:
+        failures = {failure.index: failure for failure in result.failures}
+        if result.cache is not None:
+            self.cache_stats.merge(result.cache)
+        outcomes = result.cache_outcomes or [""] * len(batch)
+        for index, job in enumerate(batch):
+            if job.cancel_requested:
+                self._finish_cancelled(job, "cancelled while running; result discarded")
+                continue
+            value = result.values[index]
+            if value is None:
+                self._finish_failure(
+                    job,
+                    failures.get(index, JobFailure(index=index, job_id=job.job_id, kind="error")),
+                )
+                continue
+            now = self._now()
+            job.response = ScheduleResponse.from_result(
+                job.job_id, value, cache=outcomes[index], wall_s=now - job.started_s
+            )
+            job.state = "done"
+            job.finished_s = now
+            client = self._client(job.client)
+            client.completed += 1
+            client.dp_work += value.work
+            if value.policy is not None and value.policy.get("partial_finalize"):
+                client.partial_finalizes += 1
+            assert isinstance(job.done, asyncio.Event)
+            job.done.set()
+
+    def _finish_cancelled(self, job: ServiceJob, detail: str) -> None:
+        now = self._now()
+        job.state = "cancelled"
+        job.detail = detail
+        job.finished_s = now
+        job.response = ScheduleResponse.from_failure(
+            JobFailure(index=0, job_id=job.job_id, kind="cancelled", message=detail),
+            wall_s=now - job.started_s if job.started_s else 0.0,
+        )
+        self._client(job.client).cancelled += 1
+        assert isinstance(job.done, asyncio.Event)
+        job.done.set()
+
+    def _finish_failure(self, job: ServiceJob, failure: JobFailure) -> None:
+        now = self._now()
+        job.response = ScheduleResponse.from_failure(failure, wall_s=now - job.started_s)
+        job.state = job.response.state
+        job.detail = failure.describe()
+        job.finished_s = now
+        client = self._client(job.client)
+        if failure.kind == "cancelled":
+            client.cancelled += 1
+        else:
+            client.failed += 1
+        assert isinstance(job.done, asyncio.Event)
+        job.done.set()
+
+
+class ServerThread:
+    """A :class:`JobServer` on a background thread, as a context manager.
+
+    The harness tests, the load benchmark and the docs examples use::
+
+        with ServerThread(port=0) as server:
+            client = ServiceClient(server.url)
+            ...
+
+    The listening port is bound (and ``server.url`` valid) by the time
+    ``__enter__`` returns; exit stops the server and joins the thread.
+    """
+
+    def __init__(self, **kwargs: object):
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+        self.server: Optional[JobServer] = None
+        self.url = ""
+        self.port = 0
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("job server failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError(f"job server failed to start: {self._error}") from self._error
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None and self._stop is not None:
+            loop, stop = self._loop, self._stop
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # Surface startup failures to __enter__.
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = JobServer(**self._kwargs)  # type: ignore[arg-type]
+        await server.start()
+        self.server = server
+        self.port = server.port
+        self.url = server.url
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await server.stop()

@@ -19,6 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.machine import paper_2c_8i_1lat, paper_4c_16i_1lat, paper_4c_16i_2lat
+from repro.api import schedule_many
 from repro.runner import (
     BatchScheduler,
     CacheSpec,
@@ -27,7 +28,6 @@ from repro.runner import (
     cache_enabled,
     default_cache_dir,
     enumerate_workload_jobs,
-    map_schedule_jobs,
 )
 from repro.scheduler import VcsConfig, block_digest, machine_digest, schedule_cache_key
 from repro.workloads import GeneratorConfig, SuperblockGenerator
@@ -73,9 +73,9 @@ def test_cache_hit_is_byte_identical_to_cold_compute(
     jobs = _jobs_for(block, machine, scheduler)
     with tempfile.TemporaryDirectory() as root:
         spec = CacheSpec(root=root)
-        cold = map_schedule_jobs(jobs, cache=spec)
-        warm = map_schedule_jobs(jobs, cache=spec)
-    uncached = map_schedule_jobs(jobs, cache=CacheSpec.disabled())
+        cold = schedule_many(jobs, cache=spec)
+        warm = schedule_many(jobs, cache=spec)
+    uncached = schedule_many(jobs, cache=CacheSpec.disabled())
 
     assert cold.cache.hits == 0 and cold.cache.stores == 1
     assert warm.cache.hits == 1 and warm.cache.misses == 0
@@ -107,9 +107,9 @@ class TestCacheKey:
         machine = paper_2c_8i_1lat()
         jobs = _jobs_for(block, machine, "cars")
         root = str(tmp_path)
-        first = map_schedule_jobs(jobs, cache=CacheSpec(root=root, salt="v1"))
-        stale = map_schedule_jobs(jobs, cache=CacheSpec(root=root, salt="v2"))
-        fresh = map_schedule_jobs(jobs, cache=CacheSpec(root=root, salt="v1"))
+        first = schedule_many(jobs, cache=CacheSpec(root=root, salt="v1"))
+        stale = schedule_many(jobs, cache=CacheSpec(root=root, salt="v2"))
+        fresh = schedule_many(jobs, cache=CacheSpec(root=root, salt="v1"))
         # A new code-version salt never reads old entries...
         assert stale.cache.hits == 0 and stale.cache.stores == 1
         # ...and the old salt's entries are still intact.
@@ -218,8 +218,8 @@ class TestParallelCache:
         machine = paper_2c_8i_1lat()
         jobs = _jobs_for(block, machine, "cars") + _jobs_for(block, machine, "vcs")
         spec = CacheSpec(root=str(tmp_path))
-        cold = map_schedule_jobs(jobs, cache=spec)
-        warm = map_schedule_jobs(
+        cold = schedule_many(jobs, cache=spec)
+        warm = schedule_many(
             jobs, runner=BatchScheduler(jobs=2, persistent=False), cache=spec
         )
         assert cold.cache.stores == len(jobs)
